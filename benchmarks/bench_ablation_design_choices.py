@@ -1,0 +1,58 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* GEMM row-shard reuse (Section IV-A's optimisation): storage reads
+  drop when the row shard stays resident.
+* HotSpot steps-per-pass (ghost-zone temporal blocking): storage
+  traffic amortises over fused steps.
+* Pipeline depth (buffer sets): depth >= 2 enables the multi-stage
+  transfer overlap of Section III-C.
+* Blocking size (staging budget): Section V-B notes over-fine
+  decomposition costs calls and utilisation.
+"""
+
+from repro.bench.figures import (ablation_blocking_size, ablation_gemm_reuse,
+                                 ablation_hotspot_fusion,
+                                 ablation_pipeline_depth)
+from repro.bench.reporting import format_ablation
+
+
+def test_ablation_gemm_reuse(benchmark, report):
+    rows = benchmark.pedantic(ablation_gemm_reuse, rounds=1, iterations=1)
+    report("ablation_gemm_reuse",
+           format_ablation(rows, "Ablation: GEMM row-shard reuse"))
+    by_variant = {r.variant: r for r in rows}
+    assert (by_variant["reuse"].io_read_bytes
+            < by_variant["no-reuse"].io_read_bytes)
+    assert by_variant["reuse"].makespan <= by_variant["no-reuse"].makespan
+
+
+def test_ablation_hotspot_fusion(benchmark, report):
+    rows = benchmark.pedantic(ablation_hotspot_fusion, rounds=1, iterations=1)
+    report("ablation_hotspot_fusion",
+           format_ablation(rows, "Ablation: HotSpot steps per pass"))
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["K=8"].io_read_bytes < by_variant["K=1"].io_read_bytes
+    assert by_variant["K=8"].makespan < by_variant["K=1"].makespan
+
+
+def test_ablation_pipeline_depth(benchmark, report):
+    rows = benchmark.pedantic(ablation_pipeline_depth, rounds=1, iterations=1)
+    report("ablation_pipeline_depth",
+           format_ablation(rows, "Ablation: pipeline (prefetch) depth"))
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["depth=2"].makespan <= by_variant["depth=1"].makespan
+
+
+def test_ablation_blocking_size(benchmark, report):
+    rows = benchmark.pedantic(ablation_blocking_size, rounds=1, iterations=1)
+    report("ablation_blocking_size",
+           format_ablation(rows, "Ablation: staging-buffer (blocking) size"))
+    # Section V-B's two-sided point: blocks must be "small enough to fit
+    # into the storage and big enough to fully utilize the GPU" -- and,
+    # we find, small enough that several chunks exist to pipeline.  A
+    # staging buffer holding the whole problem degenerates to one
+    # load -> compute -> store chain with no overlap, so the largest
+    # budget must not be the fastest.
+    spans = {r.variant: r.makespan for r in rows}
+    largest = rows[-1].variant
+    assert spans[largest] > min(spans.values())

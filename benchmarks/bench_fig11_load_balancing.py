@@ -1,0 +1,24 @@
+"""Figure 11: HotSpot CPU+GPU work stealing vs GPU-only Northup.
+
+Paper shape: with work stealing across CPU threads and GPU workgroups,
+the stencil improves by up to 24% over GPU-only execution; 32 GPU
+queues perform best among {8, 16, 32} because the GPU needs multiple
+workgroups per SIMD engine to hide latency.
+"""
+
+from repro.bench.figures import figure11
+from repro.bench.reporting import format_fig11
+
+
+def test_fig11_load_balancing(benchmark, report):
+    rows = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    report("fig11_load_balancing", format_fig11(rows))
+
+    by_input = {}
+    for r in rows:
+        by_input.setdefault((r.matrix_dim, r.chunk_dim), {})[r.gpu_queues] = r
+    for qs in by_input.values():
+        assert qs[32].speedup > qs[16].speedup > qs[8].speedup
+        assert 1.10 < qs[32].speedup < 1.30   # "up to 24%"
+        assert qs[32].steals > 0               # stealing actually fires
+        assert 0 < qs[32].cpu_share < 0.5

@@ -1,0 +1,22 @@
+"""Figure 6: normalized runtime -- in-memory vs Northup on SSD vs disk.
+
+Paper shape: GEMM hides slow storage almost entirely (~1x on SSD);
+HotSpot-2D and CSR-Adaptive slow down 1.3-2.4x on the SSD and 2-2.5x+
+on the disk drive.
+"""
+
+from repro.bench.figures import figure6
+from repro.bench.reporting import format_fig6
+
+
+def test_fig6_storage_comparison(benchmark, report):
+    rows = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    report("fig6_storage_comparison", format_fig6(rows))
+
+    by_app = {r.app: r for r in rows}
+    # Qualitative shape checks (the paper's claims, not its numbers).
+    for r in rows:
+        assert 1.0 <= r.ssd_slowdown <= r.hdd_slowdown
+    assert by_app["gemm"].ssd_slowdown < 1.2          # compute hides I/O
+    assert by_app["hotspot"].ssd_slowdown < by_app["spmv"].ssd_slowdown
+    assert by_app["hotspot"].hdd_slowdown > 2.0       # disk clearly hurts

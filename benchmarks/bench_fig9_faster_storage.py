@@ -1,0 +1,29 @@
+"""Figure 9: first-order projection onto faster storage parts.
+
+Paper shape: moving from the 1400/600 MB/s SSD to a 3500/2100 MB/s part
+improves I/O time by up to ~65% and overall time by up to ~30% for the
+bandwidth-bound apps; the remaining gap to in-memory processing is
+5% / 15% / 30% for GEMM / HotSpot / SpMV -- about 17% on average, the
+abstract's headline number.
+"""
+
+from repro.bench.figures import figure9
+from repro.bench.reporting import format_fig9
+
+
+def test_fig9_faster_storage(benchmark, report):
+    series = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    report("fig9_faster_storage", format_fig9(series))
+
+    for s in series:
+        ios = s.io_normalized()
+        overall = s.overall_normalized()
+        assert ios == sorted(ios, reverse=True)
+        # I/O gains substantially exceed overall gains (Amdahl).
+        assert ios[-1] < 0.45            # >= ~55% I/O improvement
+        assert overall[-1] > ios[-1]
+        assert s.gap_to_in_memory() > 0  # in-memory stays the bound
+    gaps = {s.app: s.gap_to_in_memory() for s in series}
+    assert gaps["gemm"] < gaps["hotspot"] < gaps["spmv"]
+    avg = sum(gaps.values()) / len(gaps)
+    assert 0.10 < avg < 0.30             # headline: ~17% on average

@@ -1,0 +1,82 @@
+"""Host-side overhead of the framework's hot-path operations.
+
+Unlike the figure benches (which measure *virtual* time), these measure
+the real Python cost of alloc/move/launch/map on this machine -- the
+number a user pays per chunk.  Rounds are bounded and the timeline is
+reset between rounds: accumulated trace state would otherwise make
+later operations slower (gap-search cost grows with booked intervals)
+and measure the wrong thing.
+"""
+
+import pytest
+
+from repro.compute.processor import KernelCost
+from repro.core.system import System
+from repro.memory.units import KB, MB
+from repro.topology.builders import apu_two_level
+
+ROUNDS = 200
+ITERATIONS = 1  # pytest-benchmark requires iterations=1 with a setup hook
+
+
+@pytest.fixture
+def system():
+    sys_ = System(apu_two_level(storage_capacity=256 * MB,
+                                staging_bytes=64 * MB))
+    yield sys_
+    sys_.close()
+
+
+def _measure(benchmark, system, fn):
+    def reset_state():
+        system.reset_time()
+        return (), {}
+
+    benchmark.pedantic(fn, rounds=ROUNDS, iterations=ITERATIONS,
+                       setup=reset_state)
+
+
+def test_alloc_release_cycle(benchmark, system):
+    leaf = system.tree.leaves()[0]
+
+    def cycle():
+        h = system.alloc(64 * KB, leaf)
+        system.release(h)
+
+    _measure(benchmark, system, cycle)
+
+
+def test_move_64k(benchmark, system):
+    root, leaf = system.tree.root, system.tree.leaves()[0]
+    src = system.alloc(64 * KB, root)
+    dst = system.alloc(64 * KB, leaf)
+    _measure(benchmark, system, lambda: system.move_down(dst, src, 64 * KB))
+
+
+def test_move_2d_block(benchmark, system):
+    root, leaf = system.tree.root, system.tree.leaves()[0]
+    src = system.alloc(1 * MB, root)
+    dst = system.alloc(64 * 1024, leaf)
+    _measure(benchmark, system, lambda: system.move_2d(
+        dst, src, rows=64, row_bytes=1024, src_offset=0, src_stride=4096,
+        dst_offset=0, dst_stride=1024))
+
+
+def test_kernel_launch(benchmark, system):
+    leaf = system.tree.leaves()[0]
+    gpu = leaf.processor_named("gpu-apu")
+    buf = system.alloc(4 * KB, leaf)
+    cost = KernelCost(flops=1e6, bytes_read=4096)
+    _measure(benchmark, system, lambda: system.launch(gpu, cost,
+                                                      reads=(buf,)))
+
+
+def test_map_region(benchmark, system):
+    leaf = system.tree.leaves()[0]
+    parent = system.alloc(1 * MB, leaf)
+
+    def cycle():
+        w = system.map_region(parent, 1024, 4096)
+        system.release(w)
+
+    _measure(benchmark, system, cycle)

@@ -1,0 +1,18 @@
+"""Section V-B: Northup runtime bookkeeping overhead.
+
+Paper claim: "the measurement shows the runtime overhead is less than
+1% of the total execution time" -- tree lookups, task control, handle
+management.
+"""
+
+from repro.bench.figures import runtime_overhead
+from repro.bench.reporting import format_overhead
+
+
+def test_runtime_overhead(benchmark, report):
+    rows = benchmark.pedantic(runtime_overhead, rounds=1, iterations=1)
+    report("overhead_runtime", format_overhead(rows))
+
+    for r in rows:
+        assert r.runtime_fraction < 0.01
+        assert r.runtime_ops > 0

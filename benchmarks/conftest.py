@@ -1,0 +1,25 @@
+"""Shared helpers for the figure benchmarks."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Write a formatted table to benchmarks/results/ and echo it.
+
+    Usage: ``report("fig6", text)``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+
+    return _write

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Portability: one application, four machine shapes.
+
+The paper's central claim -- "once the code is written, it should work
+across heterogeneous architectures" -- demonstrated directly: the same
+unmodified GEMM application runs on
+
+  1. the 2-level APU system (SSD -> DRAM),
+  2. the 3-level discrete-GPU system (disk -> DRAM -> GDDR5),
+  3. a 4-level future node (NVM -> DRAM -> die-stacked HBM -> GPU),
+  4. a machine described declaratively from a nested-dict spec.
+
+Run:  python examples/custom_topology.py
+"""
+
+import numpy as np
+
+from repro.apps import GemmApp
+from repro.core.system import System
+from repro.memory.units import KB, MB
+from repro.topology.builders import (apu_two_level, discrete_gpu_three_level,
+                                     exascale_node)
+from repro.topology.spec import build_from_spec
+
+
+def run_on(name: str, tree, n: int = 192) -> None:
+    system = System(tree)
+    try:
+        app = GemmApp(system, m=n, k=n, n=n, seed=9)
+        app.run(system)
+        assert np.allclose(app.result(), app.reference(),
+                           rtol=1e-3, atol=1e-4)
+        levels = tree.get_max_treelevel() + 1
+        print(f"--- {name} ({levels} memory levels) ---")
+        print(tree.render())
+        print(f"verified; virtual runtime {system.makespan() * 1e3:.3f} ms\n")
+    finally:
+        system.close()
+
+
+def main() -> None:
+    run_on("APU system",
+           apu_two_level(storage_capacity=16 * MB, staging_bytes=256 * KB))
+
+    run_on("discrete-GPU system",
+           discrete_gpu_three_level(storage_capacity=16 * MB,
+                                    staging_bytes=512 * KB,
+                                    gpu_mem_bytes=128 * KB))
+
+    # A future Exascale node: NVM as big slow memory, HBM above DRAM
+    # (capacities shrunk so the example's small problem still decomposes).
+    run_on("future Exascale node",
+           exascale_node(nvm_capacity=8 * MB, dram_capacity=768 * KB,
+                         hbm_capacity=384 * KB, gpu_mem_capacity=160 * KB),
+           n=128)
+
+    spec = {
+        "device": "nvm", "capacity": "8MB",
+        "children": [{
+            "device": "dram", "capacity": "512KB",
+            "processors": ["cpu"],
+            "children": [{
+                "device": "hbm", "capacity": "128KB",
+                "processors": ["gpu-apu"],
+            }],
+        }],
+    }
+    run_on("declarative spec (NVM -> DRAM -> HBM)", build_from_spec(spec),
+           n=128)
+
+    print("The application never mentioned a topology: the recursion "
+          "template mapped it to every machine shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: out-of-core matrix multiply over real files.
+
+Builds the paper's two-level APU system with the storage root backed by
+*actual files on disk* (a directory of chunk files, like the paper's
+preprocessed inputs), runs ``C = A @ B`` through the Northup recursion
+with a staging buffer far smaller than the working set, verifies the
+result against NumPy, and prints the topology and the execution
+breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.apps import GemmApp
+from repro.core.system import System
+from repro.memory.backends import FileBackend
+from repro.memory.units import KB, MB, fmt_bytes
+from repro.topology.builders import apu_two_level
+
+
+def main() -> None:
+    n = 512                      # working set: 3 matrices x 1 MB
+    staging = 256 * KB           # staging buffer: ~1/12 of the working set
+
+    with tempfile.TemporaryDirectory(prefix="northup-") as tmp:
+        tree = apu_two_level(
+            storage="ssd",
+            storage_capacity=64 * MB,
+            staging_bytes=staging,
+            storage_backend=FileBackend(f"{tmp}/storage"))
+        system = System(tree)
+
+        print("System topology (the Northup tree):")
+        print(tree.render())
+        print()
+
+        app = GemmApp(system, m=n, k=n, n=n, seed=42)
+        print(f"Problem: C = A @ B with {n}x{n} float32 matrices "
+              f"({fmt_bytes(3 * n * n * 4)} working set) against a "
+              f"{fmt_bytes(staging)} staging buffer.")
+        app.run(system)
+
+        result = app.result()
+        expected = app.reference()
+        assert np.allclose(result, expected, rtol=1e-3, atol=1e-4), \
+            "out-of-core result diverged from the NumPy reference"
+        print("Verified: out-of-core result matches NumPy. "
+              f"max |err| = {np.abs(result - expected).max():.2e}")
+        print()
+
+        print(system.breakdown().table("Execution breakdown (virtual time):"))
+        print()
+        print(f"Physical I/O actually performed (wall clock): "
+              f"{system.wall.bytes_moved / 1e6:.1f} MB in "
+              f"{system.wall.ops} operations, "
+              f"{system.wall.physical_seconds * 1e3:.1f} ms -- these are "
+              f"real files on disk.")
+        app.release_root_buffers()
+        system.close()
+
+
+if __name__ == "__main__":
+    main()

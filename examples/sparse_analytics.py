@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sparse graph analytics: repeated SpMV over an out-of-core matrix.
+
+Section IV-C's scenario at example scale: a web-graph-shaped sparse
+matrix (power-law row lengths, the skew that forces CSR-Adaptive's
+CSR-Vector bins and Northup's nnz-aware sharding) is multiplied against
+a dense vector repeatedly -- the inner loop of PageRank-style analytics.
+The matrix never fits the staging buffer; each multiply streams
+nnz-balanced shards through the tree.
+
+Run:  python examples/sparse_analytics.py
+"""
+
+import numpy as np
+
+from repro.apps import SpmvApp
+from repro.compute.kernels.spmv import bin_rows, BinKind
+from repro.core.system import System
+from repro.memory.units import KB, MB
+from repro.topology.builders import apu_two_level
+from repro.workloads.sparse import powerlaw_rows
+
+
+def main() -> None:
+    nrows = 20_000
+    matrix = powerlaw_rows(nrows, nrows, alpha=1.6, max_row=2048, seed=11)
+    lens = matrix.row_nnz()
+    blocks = bin_rows(matrix.row_ptr)
+    vector_rows = sum(1 for b in blocks if b.kind is BinKind.VECTOR)
+
+    print(f"Web-graph-shaped matrix: {nrows} rows, {matrix.nnz} non-zeros")
+    print(f"  row-length skew: median {int(np.median(lens))}, "
+          f"max {lens.max()}")
+    print(f"  CSR-Adaptive binning: {len(blocks)} bins, "
+          f"{vector_rows} long rows need CSR-Vector")
+    print()
+
+    system = System(apu_two_level(storage="ssd", storage_capacity=64 * MB,
+                                  staging_bytes=128 * KB))
+    try:
+        app = SpmvApp(system, matrix=matrix, seed=3)
+        app.run(system)
+        y = app.result()
+        assert np.allclose(y, app.reference(), rtol=1e-3, atol=1e-3)
+
+        from repro.sim.trace import Phase
+        shard_loads = [iv for iv in system.timeline.trace
+                       if iv.phase is Phase.IO_READ and iv.label == "data down"]
+        sizes = sorted(iv.nbytes for iv in shard_loads)
+        print(f"One multiply streamed {len(shard_loads)} nnz-balanced "
+              f"shards (smallest {sizes[0] / 1e3:.0f} KB, largest "
+              f"{sizes[-1] / 1e3:.0f} KB -- the variable buffer sizes the "
+              f"paper notes for CSR-Adaptive).")
+        print(f"Virtual runtime: {system.makespan() * 1e3:.2f} ms; "
+              f"result verified against the dense reference.")
+        bd = system.breakdown()
+        shares = bd.shares()
+        print(f"Breakdown: GPU {shares['gpu']:.0%}, CPU (binning) "
+              f"{shares['cpu']:.1%}, transfers {shares['transfer']:.0%}.")
+    finally:
+        system.close()
+
+
+if __name__ == "__main__":
+    main()

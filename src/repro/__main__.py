@@ -1,0 +1,9 @@
+"""``python -m repro``: regenerate the paper's evaluation.
+
+Delegates to :mod:`repro.tools.evaluate`; see ``--help`` there.
+"""
+
+from repro.tools.evaluate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""In-memory baselines (the normalisers of Figure 6).
+
+Section V-B: "For in-memory processing, we assume all the data is
+already loaded into memory"; the baseline "excludes I/O for execution
+time measurement" and is "considered to be the performance upper-bound
+that Northup can achieve."  Each baseline places its working set on a
+single-level DRAM tree (the paper's 16 GB configuration), launches the
+same leaf kernels Northup uses, and never touches storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.kernels.gemm import gemm_cost
+from repro.compute.kernels.hotspot import (HotspotParams, default_params,
+                                           hotspot_cost, hotspot_run)
+from repro.compute.kernels.spmv import (CSRMatrix, bin_rows, binning_cost,
+                                        spmv_adaptive, spmv_cost)
+from repro.compute.processor import ProcessorKind
+from repro.core.context import root_context
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.workloads.matrices import load_array, random_dense
+from repro.workloads.thermal import initial_temperature, power_grid
+
+
+class InMemoryGemm:
+    """``C = A @ B`` entirely in DRAM: one kernel launch."""
+
+    def __init__(self, system: System, *, m: int, k: int, n: int,
+                 seed: int = 0) -> None:
+        if min(m, k, n) < 1:
+            raise ConfigError(f"gemm dims must be >= 1, got {(m, k, n)}")
+        self.system = system
+        self.m, self.k, self.n = m, k, n
+        self.a_np = random_dense(m, k, seed=seed)
+        self.b_np = random_dense(k, n, seed=seed + 1)
+        root = system.tree.root
+        self.a = load_array(system, self.a_np, root, label="A")
+        self.b = load_array(system, self.b_np, root, label="B")
+        self.c = system.alloc(m * n * 4, root, label="C")
+
+    def run(self) -> None:
+        """One GEMM launch on the resident operands."""
+        ctx = root_context(self.system)
+        gpu = ctx.get_device(ProcessorKind.GPU)
+        sys_ = self.system
+
+        def kernel():
+            sys_.preload(self.c, (self.a_np @ self.b_np).astype(np.float32))
+
+        sys_.launch(gpu, gemm_cost(self.m, self.k, self.n),
+                    reads=(self.a, self.b), writes=(self.c,), fn=kernel,
+                    label="gemm in-memory")
+
+    def result(self) -> np.ndarray:
+        return self.system.fetch(self.c, np.float32, shape=(self.m, self.n))
+
+    def reference(self) -> np.ndarray:
+        return self.a_np @ self.b_np
+
+
+class InMemoryHotspot:
+    """All iterations on the resident grid: one launch per step batch."""
+
+    def __init__(self, system: System, *, n: int, iterations: int = 1,
+                 seed: int = 0,
+                 params: HotspotParams | None = None) -> None:
+        if n < 4 or iterations < 1:
+            raise ConfigError("need n >= 4 and iterations >= 1")
+        self.system = system
+        self.n = n
+        self.iterations = iterations
+        self.params = params if params is not None else default_params(n, n)
+        self.temp0 = initial_temperature(n, n, seed=seed)
+        self.power_np = power_grid(n, n, seed=seed + 1)
+        root = system.tree.root
+        self.temp = load_array(system, self.temp0, root, label="temp")
+        self.power = load_array(system, self.power_np, root, label="power")
+        self.out = system.alloc(n * n * 4, root, label="out")
+
+    def run(self) -> None:
+        ctx = root_context(self.system)
+        gpu = ctx.get_device(ProcessorKind.GPU)
+        sys_ = self.system
+        result = hotspot_run(self.temp0, self.power_np, self.params,
+                             self.iterations)
+
+        def kernel():
+            sys_.preload(self.out, result)
+
+        # One launch per iteration (the Rodinia loop); the final launch
+        # deposits the result.
+        for step in range(self.iterations):
+            sys_.launch(gpu, hotspot_cost(self.n, self.n),
+                        reads=(self.temp, self.power), writes=(self.out,),
+                        fn=kernel if step == self.iterations - 1 else None,
+                        label=f"hotspot step {step}")
+
+    def result(self) -> np.ndarray:
+        return self.system.fetch(self.out, np.float32, shape=(self.n, self.n))
+
+    def reference(self) -> np.ndarray:
+        return hotspot_run(self.temp0, self.power_np, self.params,
+                           self.iterations)
+
+
+class InMemorySpmv:
+    """CSR-Adaptive on a resident matrix: CPU binning + one GPU launch."""
+
+    def __init__(self, system: System, *, matrix: CSRMatrix,
+                 seed: int = 0, block_nnz: int = 1024) -> None:
+        self.system = system
+        self.csr = matrix
+        self.block_nnz = block_nnz
+        rng = np.random.default_rng(seed)
+        self.x_np = (2.0 * rng.random(matrix.ncols) - 1.0).astype(np.float32)
+        root = system.tree.root
+        self.row_ptr = load_array(system, matrix.row_ptr, root, label="row_ptr")
+        self.col_id = system.alloc(max(1, matrix.col_id.nbytes), root,
+                                   label="col_id")
+        self.data = system.alloc(max(1, matrix.data.nbytes), root, label="data")
+        self.x = load_array(system, self.x_np, root, label="x")
+        self.y = system.alloc(max(1, matrix.nrows * 4), root, label="y")
+        if matrix.nnz:
+            system.preload(self.col_id, matrix.col_id)
+            system.preload(self.data, matrix.data)
+
+    def run(self) -> None:
+        ctx = root_context(self.system)
+        gpu = ctx.get_device(ProcessorKind.GPU)
+        cpu = ctx.get_device(ProcessorKind.CPU)
+        sys_ = self.system
+        blocks = bin_rows(self.csr.row_ptr, block_nnz=self.block_nnz)
+        sys_.launch(cpu, binning_cost(self.csr.nrows), reads=(self.row_ptr,),
+                    label="bin rows")
+
+        def kernel():
+            y = spmv_adaptive(self.csr, self.x_np, blocks)
+            sys_.preload(self.y, y.astype(np.float32))
+
+        sys_.launch(gpu, spmv_cost(self.csr.nnz, self.csr.nrows,
+                                   blocks=blocks),
+                    reads=(self.col_id, self.data, self.x, self.row_ptr),
+                    writes=(self.y,), fn=kernel, label="spmv in-memory")
+
+    def result(self) -> np.ndarray:
+        return self.system.fetch(self.y, np.float32,
+                                 count=self.csr.nrows * 4)
+
+    def reference(self) -> np.ndarray:
+        from repro.compute.kernels.spmv import spmv
+        return spmv(self.csr, self.x_np)

@@ -1,0 +1,321 @@
+"""Out-of-core HotSpot-2D thermal simulation (paper Section IV-B).
+
+The temperature and power grids live at the tree root.  Each *pass*
+streams the grid through the hierarchy in square blocks: every block is
+shipped together with a halo of neighbour data, the leaf runs the
+Rodinia ghost-zone ("pyramid") kernel for ``steps_per_pass`` Euler
+steps, and the valid interior is written back.  Passes repeat until the
+requested number of iterations is reached.
+
+With ``steps_per_pass = 1`` this is exactly the paper's width-1 border
+scheme (the four border vectors packed into one contiguous buffer --
+here the halo ships as part of the padded block, one 2-D DMA per
+block).  Larger values amortise storage traffic over several steps per
+load, which is what the Rodinia GPU kernel's pyramid height does on
+chip and what the calibrated benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.compute.kernels.hotspot import (ChipEdges, HotspotParams,
+                                           default_params, hotspot_cost,
+                                           hotspot_multistep, pad_grid)
+from repro.compute.processor import ProcessorKind
+from repro.core.buffers import BufferHandle
+from repro.core.context import ExecutionContext, root_context
+from repro.core.decomposition import Grid2D
+from repro.core.program import NorthupProgram
+from repro.core.system import System
+from repro.errors import CapacityError, ConfigError
+from repro.topology.node import TreeNode
+from repro.workloads.thermal import initial_temperature, power_grid
+
+CAPACITY_SAFETY = 0.9
+
+
+def choose_hotspot_tile(rows: int, cols: int, *, halo: int, depth: int,
+                        budget_bytes: int, elem_size: int = 4,
+                        align: int = 16) -> int:
+    """Largest square tile edge whose working set fits the child budget.
+
+    Per buffer set: padded temp + padded power ((s+2h)^2 each) and the
+    unpadded output (s^2); ``depth`` sets are resident for pipelining.
+    """
+    if halo < 1 or depth < 1:
+        raise ConfigError("halo and depth must be >= 1")
+    budget = budget_bytes // elem_size
+
+    def cost(s: int) -> int:
+        padded = (s + 2 * halo) ** 2
+        return depth * (2 * padded + s * s)
+
+    lo, hi, best = 1, min(rows, cols), 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if cost(mid) <= budget:
+            best, lo = mid, mid + 1
+        else:
+            hi = mid - 1
+    if not best:
+        raise CapacityError(
+            f"no HotSpot tile fits a budget of {budget_bytes} bytes "
+            f"(halo={halo}, depth={depth})")
+    if best > align:
+        best -= best % align
+    return best
+
+
+@dataclass
+class HotspotLevel:
+    """Per-level problem: a halo-padded block and its output region.
+
+    ``rows``/``cols`` are the *interior* (valid-output) dimensions; the
+    padded buffers are ``(rows + 2*halo) x (cols + 2*halo)``.
+    """
+
+    t_pad: BufferHandle
+    p_pad: BufferHandle
+    out: BufferHandle
+    rows: int
+    cols: int
+    halo: int
+    edges: ChipEdges
+
+
+@dataclass
+class _ChildPool:
+    sets: list[dict[str, BufferHandle]] = field(default_factory=list)
+    next_set: int = 0
+
+
+@dataclass
+class _PassPlan:
+    tile: int
+    tiles_n: int
+    pools: dict[int, _ChildPool] = field(default_factory=dict)
+
+    def pool(self, node_id: int) -> _ChildPool:
+        return self.pools.setdefault(node_id, _ChildPool())
+
+
+class HotspotApp(NorthupProgram):
+    """Northup out-of-core HotSpot-2D.
+
+    Parameters
+    ----------
+    n:
+        Grid edge (the chip is ``n x n``).
+    iterations:
+        Total Euler steps to simulate.
+    steps_per_pass:
+        Steps fused per storage pass (halo width); must divide
+        ``iterations``.
+    pipeline_depth:
+        Buffer sets per level for load/compute overlap.
+    """
+
+    def __init__(self, system: System, *, n: int, iterations: int = 1,
+                 steps_per_pass: int = 1, pipeline_depth: int = 2,
+                 seed: int = 0,
+                 params: HotspotParams | None = None) -> None:
+        if n < 4:
+            raise ConfigError(f"grid edge must be >= 4, got {n}")
+        if iterations < 1 or steps_per_pass < 1:
+            raise ConfigError("iterations and steps_per_pass must be >= 1")
+        if iterations % steps_per_pass:
+            raise ConfigError(
+                f"steps_per_pass ({steps_per_pass}) must divide "
+                f"iterations ({iterations})")
+        self.system = system
+        self.n = n
+        self.iterations = iterations
+        self.halo = steps_per_pass
+        self.pipeline_depth = pipeline_depth
+        self.params = params if params is not None else default_params(n, n)
+        self.temp0 = initial_temperature(n, n, seed=seed)
+        self.power_np = power_grid(n, n, seed=seed + 1)
+        self.elem = 4
+
+        root = system.tree.root
+        pad_n = n + 2 * self.halo
+        self.t_pad_root = system.alloc(pad_n * pad_n * self.elem, root,
+                                       label="temp_padded")
+        self.p_pad_root = system.alloc(pad_n * pad_n * self.elem, root,
+                                       label="power_padded")
+        self.out_root = system.alloc(n * n * self.elem, root, label="temp_out")
+        system.preload(self.p_pad_root, pad_grid(self.power_np, self.halo))
+        self._current_temp = self.temp0
+        self._staged_passes = 0
+
+    # -- pass loop ---------------------------------------------------------
+
+    def run(self, system: System) -> ExecutionContext:
+        """Execute all iterations: one tree sweep per pass, refreshing
+        the padded root field in between (the pass's result becomes the
+        next pass's input)."""
+        ctx = root_context(system)
+        passes = self.iterations // self.halo
+        for _ in range(passes):
+            self._stage_padded_input(ctx)
+            ctx.payload = HotspotLevel(
+                t_pad=self.t_pad_root, p_pad=self.p_pad_root,
+                out=self.out_root, rows=self.n, cols=self.n,
+                halo=self.halo, edges=ChipEdges.whole_chip())
+            self.recurse(ctx)
+            self._current_temp = self.system.fetch(
+                self.out_root, np.float32, shape=(self.n, self.n))
+        return ctx
+
+    def _stage_padded_input(self, ctx: ExecutionContext) -> None:
+        """Write the current temperature, halo-padded, into the root
+        input buffer.
+
+        The first staging is the paper's untimed input preprocessing
+        ("one-time overhead of preprocessing the original file and
+        reorganizing it ... excluded"); later passes restage mid-run and
+        are charged as one root-local copy of the grid bytes."""
+        sys_ = self.system
+        padded = pad_grid(self._current_temp, self.halo)
+        sys_.preload(self.t_pad_root, padded)
+        self._staged_passes += 1
+        if self._staged_passes == 1:
+            return
+        dev = sys_.tree.root.device
+        duration = dev.spec.latency + self.out_root.nbytes / min(
+            dev.spec.read_bw, dev.spec.write_bw)
+        from repro.sim.trace import Phase
+        sys_.timeline.charge(dev.write_resource, duration, Phase.MEM_COPY
+                             if dev.kind.value != "file" else Phase.IO_WRITE,
+                             label="pass restage",
+                             nbytes=self.out_root.nbytes)
+
+    # -- template hooks ----------------------------------------------------
+
+    def decompose(self, ctx: ExecutionContext) -> Iterable:
+        lv: HotspotLevel = ctx.payload
+        budget = int(min(c.free for c in ctx.node.children)
+                     * CAPACITY_SAFETY)
+        tile = choose_hotspot_tile(lv.rows, lv.cols, halo=lv.halo,
+                                   depth=self.pipeline_depth,
+                                   budget_bytes=budget, elem_size=self.elem)
+        grid = Grid2D(nrows=lv.rows, ncols=lv.cols, chunk_rows=tile,
+                      chunk_cols=tile)
+        ctx.scratch["plan"] = _PassPlan(tile=tile, tiles_n=grid.tiles_n)
+        return grid.tiles()
+
+    def select_child(self, ctx: ExecutionContext, chunk) -> TreeNode:
+        """Blocks spread round-robin over sibling subtrees -- each block
+        is independent, so any child may take it."""
+        plan: _PassPlan = ctx.scratch["plan"]
+        children = ctx.node.children
+        return children[(chunk.m * plan.tiles_n + chunk.n) % len(children)]
+
+    def setup_buffers(self, ctx: ExecutionContext, child: TreeNode,
+                      chunk) -> dict:
+        sys_ = ctx.system
+        lv: HotspotLevel = ctx.payload
+        plan: _PassPlan = ctx.scratch["plan"]
+        pool = plan.pool(child.node_id)
+        if not pool.sets:
+            s = plan.tile
+            padded = (s + 2 * lv.halo) ** 2 * self.elem
+            for d in range(self.pipeline_depth):
+                pool.sets.append({
+                    "t": sys_.alloc(padded, child, label=f"t_pad{d}"),
+                    "p": sys_.alloc(padded, child, label=f"p_pad{d}"),
+                    "o": sys_.alloc(s * s * self.elem, child, label=f"out{d}"),
+                })
+        bufs = pool.sets[pool.next_set % len(pool.sets)]
+        pool.next_set += 1
+        return dict(bufs)
+
+    def data_down(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                  chunk) -> None:
+        sys_ = ctx.system
+        lv: HotspotLevel = ctx.payload
+        pay = child_ctx.payload
+        h, elem = lv.halo, self.elem
+        prow = chunk.rows + 2 * h
+        pcol = chunk.cols + 2 * h
+        parent_pcols = lv.cols + 2 * h
+        src_off = (chunk.row0 * parent_pcols + chunk.col0) * elem
+        for name, parent in (("t", lv.t_pad), ("p", lv.p_pad)):
+            sys_.move_2d(pay[name], parent, rows=prow,
+                         row_bytes=pcol * elem,
+                         src_offset=src_off,
+                         src_stride=parent_pcols * elem,
+                         dst_offset=0, dst_stride=pcol * elem,
+                         label=f"{name} block down")
+        sub_edges = lv.edges.intersect(ChipEdges.of_block(
+            chunk.row0, chunk.row1, chunk.col0, chunk.col1,
+            lv.rows, lv.cols))
+        child_ctx.payload = HotspotLevel(
+            t_pad=pay["t"], p_pad=pay["p"], out=pay["o"],
+            rows=chunk.rows, cols=chunk.cols, halo=h, edges=sub_edges)
+        child_ctx.scratch["raw_payload"] = pay
+
+    def compute_task(self, ctx: ExecutionContext) -> None:
+        lv: HotspotLevel = ctx.payload
+        sys_ = ctx.system
+        gpu = ctx.get_device(ProcessorKind.GPU)
+        prow = lv.rows + 2 * lv.halo
+        pcol = lv.cols + 2 * lv.halo
+
+        def kernel():
+            t = sys_.fetch(lv.t_pad, np.float32, shape=(prow, pcol))
+            p = sys_.fetch(lv.p_pad, np.float32, shape=(prow, pcol))
+            out = hotspot_multistep(t, p, self.params, lv.halo, lv.edges)
+            sys_.preload(lv.out, np.ascontiguousarray(out))
+
+        sys_.launch(gpu, hotspot_cost(prow, pcol, steps=lv.halo),
+                    reads=(lv.t_pad, lv.p_pad), writes=(lv.out,), fn=kernel,
+                    label=f"hotspot {lv.rows}x{lv.cols}x{lv.halo}")
+
+    def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                chunk) -> None:
+        sys_ = ctx.system
+        lv: HotspotLevel = ctx.payload
+        pay = child_ctx.scratch["raw_payload"]
+        elem = self.elem
+        sys_.move_2d(lv.out, pay["o"], rows=chunk.rows,
+                     row_bytes=chunk.cols * elem,
+                     src_offset=0, src_stride=chunk.cols * elem,
+                     dst_offset=(chunk.row0 * lv.cols + chunk.col0) * elem,
+                     dst_stride=lv.cols * elem,
+                     label="block up")
+
+    def teardown_buffers(self, ctx, child_ctx, chunk) -> None:
+        pass  # pooled; released in after_level
+
+    def after_level(self, ctx: ExecutionContext) -> None:
+        plan: _PassPlan | None = ctx.scratch.get("plan")
+        if plan is None:
+            return
+        for pool in plan.pools.values():
+            for bufs in pool.sets:
+                for h in bufs.values():
+                    ctx.system.release(h)
+            pool.sets.clear()
+
+    # -- results ---------------------------------------------------------
+
+    def result(self) -> np.ndarray:
+        """Fetch the final temperature grid from the tree root."""
+        return self._current_temp
+
+    def reference(self) -> np.ndarray:
+        """The NumPy/host reference the tests compare against."""
+        from repro.compute.kernels.hotspot import hotspot_run
+        return hotspot_run(self.temp0, self.power_np, self.params,
+                           self.iterations)
+
+    def release_root_buffers(self) -> None:
+        """Free the root-level buffers this app allocated."""
+        for h in (self.t_pad_root, self.p_pad_root, self.out_root):
+            if not h.released:
+                self.system.release(h)

@@ -1,0 +1,233 @@
+"""Out-of-core reduction: the *combine* side of divide-and-conquer.
+
+The paper's three case studies write their results back element for
+element; reductions exercise the other half of the model's promise --
+"in the end, the solutions of subproblems are combined to generate the
+final result" (Section I).  A vector far larger than the staging buffer
+streams through the hierarchy; each chunk reduces to one partial on the
+leaf processor, partials collect in a small buffer, and a final combine
+kernel folds them before the scalar moves back to the root.
+
+Not one of the paper's benchmarks; included to demonstrate that the
+framework "is generic to a variety of problems" (Section IV) with a
+different data-flow shape, and tested against NumPy like everything
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.compute.processor import KernelCost, ProcessorKind
+from repro.core.buffers import BufferHandle
+from repro.core.context import ExecutionContext
+from repro.core.decomposition import Range1D, fit_row_chunks
+from repro.core.program import NorthupProgram
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.topology.node import TreeNode
+
+CAPACITY_SAFETY = 0.9
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One reduction operator: elementwise fold + identity."""
+
+    name: str
+    fold: Callable[[np.ndarray], np.floating]
+    combine: Callable[[np.ndarray], np.floating]
+    reference: Callable[[np.ndarray], float]
+    flops_per_elem: float
+
+
+def _ops() -> dict[str, _Op]:
+    return {
+        "sum": _Op("sum",
+                   fold=lambda a: a.sum(dtype=np.float64),
+                   combine=lambda p: p.sum(dtype=np.float64),
+                   reference=lambda a: float(a.sum(dtype=np.float64)),
+                   flops_per_elem=1.0),
+        "max": _Op("max",
+                   fold=lambda a: np.float64(a.max()),
+                   combine=lambda p: np.float64(p.max()),
+                   reference=lambda a: float(a.max()),
+                   flops_per_elem=1.0),
+        "min": _Op("min",
+                   fold=lambda a: np.float64(a.min()),
+                   combine=lambda p: np.float64(p.min()),
+                   reference=lambda a: float(a.min()),
+                   flops_per_elem=1.0),
+        "l2": _Op("l2",
+                  fold=lambda a: (a.astype(np.float64) ** 2).sum(),
+                  combine=lambda p: p.sum(dtype=np.float64),
+                  reference=lambda a: float((a.astype(np.float64) ** 2).sum()),
+                  flops_per_elem=2.0),
+    }
+
+
+@dataclass
+class ReduceLevel:
+    """Per-level problem: the local vector slice and a result slot."""
+
+    data: BufferHandle
+    out: BufferHandle          # 8-byte float64 result slot
+    n: int
+
+
+class ReduceApp(NorthupProgram):
+    """Northup out-of-core reduction over a float32 vector.
+
+    Parameters
+    ----------
+    n:
+        Element count.
+    op:
+        ``"sum"``, ``"max"``, ``"min"``, or ``"l2"`` (sum of squares).
+
+    Notes
+    -----
+    Chunks descend the first-child chain (partials collect per level);
+    the final value is a float64 at the tree root.  ``l2`` reductions
+    are non-trivial to combine (the combine operator differs from the
+    fold), which is exactly the case the per-level combine step exists
+    for.
+    """
+
+    def __init__(self, system: System, *, n: int, op: str = "sum",
+                 seed: int = 0) -> None:
+        ops = _ops()
+        if op not in ops:
+            raise ConfigError(f"unknown reduction {op!r}; known: {sorted(ops)}")
+        if n < 1:
+            raise ConfigError(f"element count must be >= 1, got {n}")
+        self.system = system
+        self.n = n
+        self.op = ops[op]
+        rng = np.random.default_rng(seed)
+        self.data_np = (2.0 * rng.random(n) - 1.0).astype(np.float32)
+        root = system.tree.root
+        self.data_root = system.alloc(n * 4, root, label="data")
+        self.out_root = system.alloc(8, root, label="result")
+        system.preload(self.data_root, self.data_np)
+
+    # -- template hooks -------------------------------------------------
+
+    def before_run(self, ctx: ExecutionContext) -> None:
+        ctx.payload = ReduceLevel(data=self.data_root, out=self.out_root,
+                                  n=self.n)
+
+    def decompose(self, ctx: ExecutionContext) -> Iterable[Range1D]:
+        lv: ReduceLevel = ctx.payload
+        child = ctx.first_child()
+        budget = int(child.free * CAPACITY_SAFETY)
+        # Two chunk buffers (pipelining) + the partials array.
+        chunks = fit_row_chunks(lv.n, row_bytes=4, budget_bytes=budget,
+                                copies=2)
+        ctx.scratch["num_chunks"] = len(chunks)
+        return chunks
+
+    def setup_buffers(self, ctx: ExecutionContext, child: TreeNode,
+                      chunk: Range1D) -> dict:
+        sys_ = ctx.system
+        plan = ctx.scratch
+        if "partials" not in plan:
+            plan["partials"] = sys_.alloc(plan["num_chunks"] * 8, child,
+                                          label="partials")
+        # Chunk buffers are variable-size at the tail: allocate fresh per
+        # chunk (the budget reserves room for two).
+        buf = sys_.alloc(chunk.size * 4, child, label=f"chunk{chunk.index}")
+        out = sys_.map_region(plan["partials"], chunk.index * 8, 8,
+                              label=f"partial{chunk.index}")
+        return {"data": buf, "out": out}
+
+    def data_down(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                  chunk: Range1D) -> None:
+        sys_ = ctx.system
+        lv: ReduceLevel = ctx.payload
+        pay = child_ctx.payload
+        sys_.move_down(pay["data"], lv.data, chunk.size * 4,
+                       src_offset=chunk.start * 4, label="chunk down")
+        child_ctx.payload = ReduceLevel(data=pay["data"], out=pay["out"],
+                                        n=chunk.size)
+        child_ctx.scratch["raw_payload"] = pay
+
+    def compute_task(self, ctx: ExecutionContext) -> None:
+        lv: ReduceLevel = ctx.payload
+        sys_ = ctx.system
+        gpu = ctx.get_device(ProcessorKind.GPU)
+
+        def kernel():
+            data = sys_.fetch(lv.data, np.float32, count=lv.n * 4)
+            sys_.preload(lv.out, np.array([self.op.fold(data)],
+                                          dtype=np.float64))
+
+        sys_.launch(gpu, KernelCost(flops=self.op.flops_per_elem * lv.n,
+                                    bytes_read=lv.n * 4.0, bytes_written=8.0,
+                                    efficiency=0.5, bw_efficiency=0.8),
+                    reads=(lv.data,), writes=(lv.out,), fn=kernel,
+                    label=f"{self.op.name} {lv.n}")
+
+    def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                chunk: Range1D) -> None:
+        pass  # partials stay at the child until the level-end combine
+
+    def teardown_buffers(self, ctx: ExecutionContext,
+                         child_ctx: ExecutionContext, chunk: Range1D) -> None:
+        sys_ = ctx.system
+        pay = child_ctx.scratch["raw_payload"]
+        sys_.release(pay["out"])   # the mapped partial slot
+        sys_.release(pay["data"])
+
+    def after_level(self, ctx: ExecutionContext) -> None:
+        """Combine the partials and move the single value up."""
+        sys_ = ctx.system
+        lv: ReduceLevel = ctx.payload
+        plan = ctx.scratch
+        partials: BufferHandle | None = plan.get("partials")
+        if partials is None:
+            return
+        child = ctx.first_child()
+        result = sys_.alloc(8, child, label="combined")
+        num = plan["num_chunks"]
+        proc0 = child.processors[0] if child.processors else None
+
+        def combine():
+            vals = sys_.fetch(partials, np.float64, count=num * 8)
+            sys_.preload(result, np.array([self.op.combine(vals)],
+                                          dtype=np.float64))
+
+        if proc0 is not None:
+            sys_.launch(proc0, KernelCost(flops=float(num), bytes_read=num * 8.0,
+                                        bytes_written=8.0, efficiency=0.5,
+                                        bw_efficiency=0.8),
+                        reads=(partials,), writes=(result,), fn=combine,
+                        label=f"combine {num}")
+        else:
+            # An intermediate node without a processor: combine on the
+            # host (charged as runtime bookkeeping) -- tiny either way.
+            combine()
+            sys_.charge_runtime(num, label="host combine")
+        sys_.move_up(lv.out, result, 8, label="result up")
+        sys_.release(result)
+        sys_.release(partials)
+        plan.pop("partials", None)
+
+    # -- results ---------------------------------------------------------
+
+    def result(self) -> float:
+        """Fetch the reduced scalar from the tree root."""
+        return float(self.system.fetch(self.out_root, np.float64)[0])
+
+    def reference(self) -> float:
+        """The NumPy reference the tests compare against."""
+        return self.op.reference(self.data_np)
+
+    def release_root_buffers(self) -> None:
+        """Free the root-level buffers this app allocated."""
+        for h in (self.data_root, self.out_root):
+            if not h.released:
+                self.system.release(h)

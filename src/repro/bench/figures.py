@@ -1,0 +1,405 @@
+"""Experiment runners: one function per paper table/figure.
+
+Each runner executes real Northup applications on the scaled systems of
+:mod:`repro.bench.configs` and returns plain dataclasses; the
+``benchmarks/`` suite wraps them in pytest-benchmark and prints the
+paper-style rows via :mod:`repro.bench.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps import (GemmApp, HotspotApp, InMemoryGemm, InMemoryHotspot,
+                        InMemorySpmv, SpmvApp)
+from repro.bench import configs
+from repro.core.profiler import Breakdown
+from repro.core.stealing import StealConfig, simulate, speedup_vs_gpu_only
+from repro.core.system import System
+from repro.emulator.projection import IOProfile, Projection, sweep
+from repro.errors import ConfigError
+from repro.workloads.sparse import preset
+
+APPS = ("gemm", "hotspot", "spmv")
+
+
+@dataclass
+class RunResult:
+    """One measured execution."""
+
+    app: str
+    config: str
+    makespan: float
+    breakdown: Breakdown
+    verified: bool
+    io_profile: IOProfile
+
+
+def _verify(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.allclose(a, b, rtol=1e-3, atol=1e-3))
+
+
+def _run_app(app_name: str, tree, config_name: str,
+             scale: configs.WorkloadScale) -> RunResult:
+    system = System(tree)
+    try:
+        if app_name == "gemm":
+            app = GemmApp(system, m=scale.gemm_n, k=scale.gemm_n,
+                          n=scale.gemm_n, seed=scale.seed)
+            app.run(system)
+            verified = _verify(app.result(), app.reference())
+        elif app_name == "hotspot":
+            app = HotspotApp(system, n=scale.hotspot_n,
+                             iterations=scale.hotspot_iterations,
+                             steps_per_pass=scale.hotspot_steps_per_pass,
+                             seed=scale.seed)
+            app.run(system)
+            verified = _verify(app.result(), app.reference())
+        elif app_name == "spmv":
+            matrix = preset(scale.spmv_preset, nrows=scale.spmv_rows,
+                            seed=scale.seed)
+            app = SpmvApp(system, matrix=matrix, seed=scale.seed)
+            app.run(system)
+            verified = _verify(app.result(), app.reference())
+        else:
+            raise ConfigError(f"unknown app {app_name!r}")
+        bd = system.breakdown()
+        return RunResult(app=app_name, config=config_name,
+                         makespan=system.makespan(), breakdown=bd,
+                         verified=verified,
+                         io_profile=IOProfile.from_trace(system.timeline.trace))
+    finally:
+        system.close()
+
+
+def _run_baseline(app_name: str,
+                  scale: configs.WorkloadScale) -> RunResult:
+    system = System(configs.scaled_inmemory_tree(
+        flop_bound_app=(app_name == "gemm")))
+    try:
+        if app_name == "gemm":
+            app = InMemoryGemm(system, m=scale.gemm_n, k=scale.gemm_n,
+                               n=scale.gemm_n, seed=scale.seed)
+        elif app_name == "hotspot":
+            app = InMemoryHotspot(system, n=scale.hotspot_n,
+                                  iterations=scale.hotspot_iterations,
+                                  seed=scale.seed)
+        elif app_name == "spmv":
+            matrix = preset(scale.spmv_preset, nrows=scale.spmv_rows,
+                            seed=scale.seed)
+            app = InMemorySpmv(system, matrix=matrix, seed=scale.seed)
+        else:
+            raise ConfigError(f"unknown app {app_name!r}")
+        app.run()
+        verified = _verify(app.result(), app.reference())
+        bd = system.breakdown()
+        return RunResult(app=app_name, config="in-memory",
+                         makespan=system.makespan(), breakdown=bd,
+                         verified=verified,
+                         io_profile=IOProfile.from_trace(system.timeline.trace))
+    finally:
+        system.close()
+
+
+def _apu_tree_for(app_name: str, storage: str, **kw):
+    return configs.scaled_apu_tree(storage,
+                                   flop_bound_app=(app_name == "gemm"), **kw)
+
+
+# -- Figure 6 -----------------------------------------------------------------
+
+@dataclass
+class Fig6Row:
+    """One app's Figure 6 bar group (absolute makespans)."""
+
+    app: str
+    in_memory: float
+    ssd: float
+    hdd: float
+
+    @property
+    def ssd_slowdown(self) -> float:
+        return self.ssd / self.in_memory
+
+    @property
+    def hdd_slowdown(self) -> float:
+        return self.hdd / self.in_memory
+
+
+def figure6(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+            apps: tuple[str, ...] = APPS) -> list[Fig6Row]:
+    """Normalized runtime: in-memory vs Northup on SSD vs disk."""
+    rows = []
+    for app in apps:
+        base = _run_baseline(app, scale)
+        assert base.verified, f"{app} baseline failed verification"
+        ssd = _run_app(app, _apu_tree_for(app, "ssd"), "ssd", scale)
+        hdd = _run_app(app, _apu_tree_for(app, "hdd"), "hdd", scale)
+        assert ssd.verified and hdd.verified, f"{app} failed verification"
+        rows.append(Fig6Row(app=app, in_memory=base.makespan,
+                            ssd=ssd.makespan, hdd=hdd.makespan))
+    return rows
+
+
+# -- Figures 7 and 8 ----------------------------------------------------------
+
+@dataclass
+class BreakdownRow:
+    """One app/storage breakdown (busy-time shares)."""
+
+    app: str
+    storage: str
+    shares: dict[str, float]
+    breakdown: Breakdown
+
+
+def figure7(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+            storages: tuple[str, ...] = ("hdd", "ssd"),
+            apps: tuple[str, ...] = APPS) -> list[BreakdownRow]:
+    """Execution breakdown on the 2-level APU tree (busy-time shares)."""
+    rows = []
+    for storage in storages:
+        for app in apps:
+            res = _run_app(app, _apu_tree_for(app, storage), storage, scale)
+            assert res.verified
+            rows.append(BreakdownRow(app=app, storage=storage,
+                                     shares=res.breakdown.shares(),
+                                     breakdown=res.breakdown))
+    return rows
+
+
+def figure8(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+            apps: tuple[str, ...] = APPS) -> list[BreakdownRow]:
+    """Execution breakdown on the 3-level discrete-GPU tree; the extra
+    category of interest is the host<->device ("OpenCL") transfer share."""
+    rows = []
+    for app in apps:
+        tree = configs.scaled_dgpu_tree(
+            "hdd", flop_bound_app=(app == "gemm"))
+        res = _run_app(app, tree, "hdd+dgpu", scale)
+        assert res.verified
+        shares = res.breakdown.shares()
+        shares["dev_transfer"] = (res.breakdown.dev_transfer
+                                  / res.breakdown.busy_total
+                                  if res.breakdown.busy_total else 0.0)
+        rows.append(BreakdownRow(app=app, storage="hdd+dgpu",
+                                 shares=shares, breakdown=res.breakdown))
+    return rows
+
+
+# -- Figure 9 -----------------------------------------------------------------
+
+@dataclass
+class Fig9Series:
+    """One app's Figure 9 projection ladder."""
+
+    app: str
+    in_memory: float
+    projections: list[Projection] = field(default_factory=list)
+
+    def io_normalized(self) -> list[float]:
+        base = self.projections[0].io_time
+        return [p.io_time / base for p in self.projections]
+
+    def overall_normalized(self) -> list[float]:
+        base = self.projections[0].overall
+        return [p.overall / base for p in self.projections]
+
+    def gap_to_in_memory(self) -> float:
+        """Slowdown of the fastest projected point over in-memory --
+        the 5% / 15% / 30% numbers (average ~17%, the abstract's
+        headline)."""
+        return self.projections[-1].overall / self.in_memory - 1.0
+
+
+def figure9(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+            apps: tuple[str, ...] = APPS) -> list[Fig9Series]:
+    """First-order projection of the Figure 6 SSD runs onto faster
+    storage parts (the Section V-D emulator)."""
+    series = []
+    ssd_latency = configs.device_spec("ssd").latency / configs.BYTE_SCALE
+    for app in apps:
+        base = _run_baseline(app, scale)
+        res = _run_app(app, _apu_tree_for(app, "ssd"), "ssd", scale)
+        assert base.verified and res.verified
+        projections = sweep(res.io_profile, configs.FIG9_LADDER,
+                            latency=ssd_latency)
+        series.append(Fig9Series(app=app, in_memory=base.makespan,
+                                 projections=projections))
+    return series
+
+
+# -- Figure 11 ----------------------------------------------------------------
+
+@dataclass
+class Fig11Row:
+    """One (input, queue-count) point of Figure 11."""
+
+    matrix_dim: int
+    chunk_dim: int
+    gpu_queues: int
+    speedup: float
+    steals: int
+    cpu_share: float
+
+
+def figure11() -> list[Fig11Row]:
+    """HotSpot CPU+GPU work-stealing speedup over GPU-only Northup, for
+    the paper's three inputs and 8/16/32 GPU queues."""
+    rows = []
+    for m, n in configs.FIG11_INPUTS:
+        for q in configs.FIG11_QUEUE_COUNTS:
+            cfg = StealConfig(
+                matrix_dim=m, chunk_dim=n, gpu_queues=q, cpu_threads=4,
+                gpu_cells_per_s=configs.FIG11_GPU_CELLS_PER_S,
+                cpu_cells_per_s=configs.FIG11_CPU_CELLS_PER_S,
+                ssd_read_bw=1400e6, ssd_write_bw=600e6,
+                steps_per_chunk=configs.FIG11_STEPS_PER_CHUNK)
+            stats = simulate(cfg)
+            rows.append(Fig11Row(
+                matrix_dim=m, chunk_dim=n, gpu_queues=q,
+                speedup=speedup_vs_gpu_only(cfg), steals=stats.steals,
+                cpu_share=stats.tasks_cpu / stats.tasks_total))
+    return rows
+
+
+# -- Section V-B: runtime overhead --------------------------------------------
+
+@dataclass
+class OverheadRow:
+    """Runtime bookkeeping share for one app (Section V-B)."""
+
+    app: str
+    runtime_fraction: float
+    runtime_ops: int
+
+
+def runtime_overhead(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+                     apps: tuple[str, ...] = APPS) -> list[OverheadRow]:
+    """Framework bookkeeping as a fraction of busy time; the paper
+    reports "less than 1% of the total execution time"."""
+    rows = []
+    for app in apps:
+        res = _run_app(app, _apu_tree_for(app, "ssd"), "ssd", scale)
+        rows.append(OverheadRow(
+            app=app,
+            runtime_fraction=res.breakdown.runtime_overhead_fraction(),
+            runtime_ops=int(res.breakdown.runtime
+                            / 0.5e-6)))  # RUNTIME_OP_COST
+    return rows
+
+
+# -- Ablations -----------------------------------------------------------------
+
+@dataclass
+class AblationRow:
+    """One variant of a design-choice ablation."""
+
+    name: str
+    variant: str
+    makespan: float
+    io_read_bytes: int
+
+
+def ablation_gemm_reuse(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE) -> list[AblationRow]:
+    """Row-shard reuse on/off (the Section IV-A optimisation).
+
+    Tile shape is held fixed across the two variants so the comparison
+    isolates the caching itself, not the chooser's different plans.
+    """
+    from repro.apps.gemm import GemmTiles, choose_gemm_tiles
+    from repro.sim.trace import Phase
+    n = scale.gemm_n
+    chosen = choose_gemm_tiles(
+        n, n, n, elem_size=4,
+        budget_bytes=int(configs.STAGING_BYTES * 0.9), depth=2,
+        prefer_reuse=True)
+    rows = []
+    for reuse in (True, False):
+        system = System(_apu_tree_for("gemm", "ssd"))
+        try:
+            app = GemmApp(system, m=n, k=n, n=n, seed=scale.seed,
+                          reuse_row_shard=reuse,
+                          force_tiles=GemmTiles(tm=chosen.tm, tn=chosen.tn,
+                                                tk=chosen.tk, reuse=reuse))
+            app.run(system)
+            bd = system.breakdown()
+            rows.append(AblationRow(
+                name="gemm-row-shard-reuse",
+                variant="reuse" if reuse else "no-reuse",
+                makespan=system.makespan(),
+                io_read_bytes=bd.bytes_by_phase.get(Phase.IO_READ, 0)))
+        finally:
+            system.close()
+    return rows
+
+
+def ablation_pipeline_depth(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+        depths: tuple[int, ...] = (1, 2, 3)) -> list[AblationRow]:
+    """Prefetch depth (buffer sets) for the HotSpot pass."""
+    rows = []
+    for depth in depths:
+        system = System(_apu_tree_for("hotspot", "ssd"))
+        try:
+            app = HotspotApp(system, n=scale.hotspot_n,
+                             iterations=scale.hotspot_iterations,
+                             steps_per_pass=scale.hotspot_steps_per_pass,
+                             seed=scale.seed, pipeline_depth=depth)
+            app.run(system)
+            rows.append(AblationRow(
+                name="hotspot-pipeline-depth", variant=f"depth={depth}",
+                makespan=system.makespan(), io_read_bytes=0))
+        finally:
+            system.close()
+    return rows
+
+
+def ablation_hotspot_fusion(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+        steps: tuple[int, ...] = (1, 2, 4, 8)) -> list[AblationRow]:
+    """Steps fused per storage pass (ghost-zone temporal blocking)."""
+    from repro.sim.trace import Phase
+    rows = []
+    for k in steps:
+        system = System(_apu_tree_for("hotspot", "ssd"))
+        try:
+            app = HotspotApp(system, n=scale.hotspot_n,
+                             iterations=scale.hotspot_iterations,
+                             steps_per_pass=k, seed=scale.seed)
+            app.run(system)
+            bd = system.breakdown()
+            rows.append(AblationRow(
+                name="hotspot-steps-per-pass", variant=f"K={k}",
+                makespan=system.makespan(),
+                io_read_bytes=bd.bytes_by_phase.get(Phase.IO_READ, 0)))
+        finally:
+            system.close()
+    return rows
+
+
+def ablation_blocking_size(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+        stagings: tuple[int, ...] = (configs.STAGING_BYTES // 4,
+                                     configs.STAGING_BYTES,
+                                     configs.STAGING_BYTES * 4)) -> list[AblationRow]:
+    """Blocking-size sensitivity via the staging-buffer budget
+    (Section V-B: "this also depends on the chosen blocking sizes")."""
+    rows = []
+    for staging in stagings:
+        system = System(_apu_tree_for("gemm", "ssd",
+                                      staging_bytes=staging))
+        try:
+            app = GemmApp(system, m=scale.gemm_n, k=scale.gemm_n,
+                          n=scale.gemm_n, seed=scale.seed)
+            app.run(system)
+            rows.append(AblationRow(
+                name="gemm-blocking-size",
+                variant=f"staging={staging // (1 << 20)}MiB",
+                makespan=system.makespan(), io_read_bytes=0))
+        finally:
+            system.close()
+    return rows

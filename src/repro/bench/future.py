@@ -1,0 +1,170 @@
+"""Future-memory analyses beyond the paper's figures.
+
+Two of the paper's forward-looking claims, made measurable:
+
+* Section V-D's takeaway: "with emerging memory technologies, the
+  extremely wide gap between DRAM and storage can be filled for better
+  performance" -- :func:`storage_generations` runs the Figure 6
+  workloads across disk, SSD, and block-NVM storage roots.
+* Section V-B's observation that HotSpot beats CSR-Adaptive because of
+  "relatively regular blocks with better I/O performance as compared to
+  variable buffer sizes" -- :func:`spmv_input_structures` sweeps SpMV
+  over input families with increasingly irregular row structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import SpmvApp
+from repro.bench import configs
+from repro.bench.figures import _apu_tree_for, _run_app, _run_baseline
+from repro.core.system import System
+
+from repro.workloads.sparse import preset, preset_names
+
+
+@dataclass
+class GenerationRow:
+    """One (app, storage generation) slowdown point."""
+
+    app: str
+    storage: str
+    slowdown: float
+
+
+def storage_generations(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+        apps: tuple[str, ...] = ("gemm", "hotspot", "spmv"),
+        storages: tuple[str, ...] = ("hdd", "ssd", "nvm")) -> list[GenerationRow]:
+    """Normalized runtime across three storage generations.
+
+    NVM here is the block-mode device (2.5/2.0 GB/s): the "per-node
+    slower memory" the paper argues NVM bandwidth now justifies.
+    """
+    rows = []
+    for app in apps:
+        base = _run_baseline(app, scale)
+        assert base.verified
+        for storage in storages:
+            res = _run_app(app, _apu_tree_for(app, storage), storage, scale)
+            assert res.verified
+            rows.append(GenerationRow(app=app, storage=storage,
+                                      slowdown=res.makespan / base.makespan))
+    return rows
+
+
+@dataclass
+class SpmvStructureRow:
+    """One (input family, sharding strategy) outcome."""
+
+    preset: str
+    strategy: str          # "nnz" (Northup) or "rows" (naive even split)
+    completed: bool
+    slowdown: float
+    shard_count: int
+    shard_size_cv: float   # coefficient of variation of shard I/O sizes
+
+
+def spmv_input_structures(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE) -> list[SpmvStructureRow]:
+    """Northup's nnz-aware sharding vs the naive equal-rows split
+    (Section IV-C), across input structures.
+
+    On regular inputs the two are near-identical; on power-law inputs
+    equal-rows sharding produces wildly variable shard sizes and may
+    overflow the next level entirely -- "Northup has a unique advantage
+    to handle this situation thanks to its recursive scheme."
+    """
+    from repro.apps.baselines import InMemorySpmv
+    from repro.errors import CapacityError
+    from repro.sim.trace import Phase
+
+    inputs = {name: preset(name, nrows=scale.spmv_rows, seed=scale.seed)
+              for name in preset_names()}
+    inputs["adversarial-skew"] = _adversarial_skew(scale.spmv_rows,
+                                                   seed=scale.seed)
+
+    rows = []
+    for name, matrix in inputs.items():
+
+        base_sys = System(configs.scaled_inmemory_tree())
+        try:
+            base = InMemorySpmv(base_sys, matrix=matrix, seed=scale.seed)
+            base.run()
+            assert np.allclose(base.result(), base.reference(),
+                               rtol=1e-3, atol=1e-3)
+            base_time = base_sys.makespan()
+        finally:
+            base_sys.close()
+
+        for strategy in ("nnz", "rows"):
+            # A tighter staging budget so several shards exist and the
+            # skew has room to show.
+            system = System(_apu_tree_for(
+                "spmv", "ssd",
+                staging_bytes=configs.STAGING_BYTES // 8))
+            try:
+                app = SpmvApp(system, matrix=matrix, seed=scale.seed,
+                              shard_strategy=strategy)
+                try:
+                    app.run(system)
+                except CapacityError:
+                    rows.append(SpmvStructureRow(
+                        preset=name, strategy=strategy, completed=False,
+                        slowdown=float("inf"), shard_count=0,
+                        shard_size_cv=float("inf")))
+                    continue
+                assert np.allclose(app.result(), app.reference(),
+                                   rtol=1e-3, atol=1e-3)
+                sizes = [iv.nbytes for iv in system.timeline.trace
+                         if iv.phase is Phase.IO_READ
+                         and iv.label == "data down"]
+                mean = float(np.mean(sizes)) if sizes else 0.0
+                cv = float(np.std(sizes) / mean) if mean else 0.0
+                rows.append(SpmvStructureRow(
+                    preset=name, strategy=strategy, completed=True,
+                    slowdown=system.makespan() / base_time,
+                    shard_count=len(sizes), shard_size_cv=cv))
+            finally:
+                system.close()
+    return rows
+
+
+def _adversarial_skew(nrows: int, *, seed: int):
+    """Mostly single-nonzero rows plus a few giant rows, each close to a
+    whole next-level budget: the input family for which equal-rows
+    sharding cannot work at all."""
+    rng = np.random.default_rng(seed)
+    lengths = np.ones(nrows, dtype=np.int64)
+    giant = max(16, nrows // 3000)
+    positions = rng.choice(nrows, size=giant, replace=False)
+    lengths[positions] = nrows  # clipped to ncols by the assembler
+    from repro.workloads.sparse import _assemble
+    return _assemble(lengths, nrows, rng)
+
+
+def format_generations(rows: list[GenerationRow]) -> str:
+    """Format the storage-generations table."""
+    lines = ["Storage generations: normalized runtime vs in-memory",
+             f"{'app':<10}{'storage':<8}{'slowdown':>10}"]
+    for r in rows:
+        lines.append(f"{r.app:<10}{r.storage:<8}{r.slowdown:>9.2f}x")
+    return "\n".join(lines)
+
+
+def format_spmv_structures(rows: list[SpmvStructureRow]) -> str:
+    """Format the sharding-strategy table."""
+    lines = ["SpMV sharding strategy vs input structure (SSD)",
+             f"{'preset':<18}{'strategy':<9}{'slowdown':>9}{'shards':>8}"
+             f"{'size CV':>9}"]
+    for r in rows:
+        if not r.completed:
+            lines.append(f"{r.preset:<18}{r.strategy:<9}"
+                         f"{'OVERFLOWS next level':>26}")
+            continue
+        lines.append(f"{r.preset:<18}{r.strategy:<9}{r.slowdown:>8.2f}x"
+                     f"{r.shard_count:>8}{r.shard_size_cv:>9.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Paper-style table formatting for bench results."""
+
+from __future__ import annotations
+
+from repro.bench.figures import (AblationRow, BreakdownRow, Fig6Row,
+                                 Fig9Series, Fig11Row, OverheadRow)
+
+
+def _table(header: list[str], rows: list[list[str]], title: str) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(header)]
+    lines = [title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_fig6(rows: list[Fig6Row]) -> str:
+    """Figure 6 as a normalized-runtime table."""
+    body = [[r.app, f"{r.in_memory * 1e3:.2f} ms", "1.00x",
+             f"{r.ssd_slowdown:.2f}x", f"{r.hdd_slowdown:.2f}x"]
+            for r in rows]
+    return _table(
+        ["app", "in-memory", "norm", "ssd", "disk"],
+        body,
+        "Figure 6: normalized runtime vs in-memory (lower is better)")
+
+
+def format_breakdown(rows: list[BreakdownRow], title: str) -> str:
+    """Figures 7/8 as a busy-share table."""
+    body = []
+    for r in rows:
+        body.append([
+            r.app, r.storage,
+            f"{r.shares['cpu']:.1%}", f"{r.shares['gpu']:.1%}",
+            f"{r.shares['setup']:.1%}", f"{r.shares['transfer']:.1%}",
+            f"{r.shares.get('dev_transfer', r.breakdown.dev_transfer / r.breakdown.busy_total if r.breakdown.busy_total else 0.0):.1%}",
+            f"{r.shares['runtime']:.2%}",
+        ])
+    return _table(
+        ["app", "storage", "cpu", "gpu", "setup", "transfer(all)",
+         "dev-xfer", "runtime"],
+        body, title)
+
+
+def format_fig9(series: list[Fig9Series]) -> str:
+    """Figure 9 as normalized I/O and overall series."""
+    body = []
+    for s in series:
+        ios = s.io_normalized()
+        overall = s.overall_normalized()
+        body.append([
+            s.app,
+            " ".join(f"{x:.2f}" for x in ios),
+            " ".join(f"{x:.2f}" for x in overall),
+            f"{s.gap_to_in_memory():+.1%}",
+        ])
+    avg = sum(s.gap_to_in_memory() for s in series) / len(series)
+    table = _table(
+        ["app", "I/O time (norm.)", "overall (norm.)", "gap to in-mem"],
+        body,
+        "Figure 9: projection onto faster storage "
+        "(ladder 1400/600 -> 3500/2100 MB/s)")
+    return table + f"\naverage gap to in-memory at fastest point: {avg:+.1%}"
+
+
+def format_fig11(rows: list[Fig11Row]) -> str:
+    """Figure 11 as speedup-vs-GPU-only rows."""
+    body = [[f"({r.matrix_dim}, {r.chunk_dim})", str(r.gpu_queues),
+             f"{r.speedup:.2f}x", str(r.steals), f"{r.cpu_share:.1%}"]
+            for r in rows]
+    return _table(
+        ["input (m, n)", "gpu queues", "speedup vs gpu-only", "steals",
+         "cpu task share"],
+        body,
+        "Figure 11: HotSpot CPU+GPU work stealing vs GPU-only Northup")
+
+
+def format_overhead(rows: list[OverheadRow]) -> str:
+    """The Section V-B runtime-overhead table."""
+    body = [[r.app, f"{r.runtime_fraction:.3%}", str(r.runtime_ops)]
+            for r in rows]
+    return _table(["app", "runtime overhead", "runtime ops"], body,
+                  "Section V-B: Northup runtime bookkeeping overhead "
+                  "(paper: < 1%)")
+
+
+def format_ablation(rows: list[AblationRow], title: str) -> str:
+    """A design-choice ablation table."""
+    body = [[r.name, r.variant, f"{r.makespan * 1e3:.2f} ms",
+             f"{r.io_read_bytes / 1e6:.1f} MB" if r.io_read_bytes else "-"]
+            for r in rows]
+    return _table(["ablation", "variant", "makespan", "io reads"], body,
+                  title)

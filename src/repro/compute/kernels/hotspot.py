@@ -1,0 +1,309 @@
+"""HotSpot-2D thermal stencil kernel (paper Section IV-B).
+
+HotSpot models on-die heat: each grid cell's temperature is advanced by
+a 5-point stencil combining neighbour diffusion (through lateral thermal
+resistances Rx/Ry), vertical dissipation to the ambient (Rz), and the
+cell's own power draw.  The Rodinia formulation advanced one explicit
+Euler step per kernel launch is reproduced here.
+
+The blocked (Northup) execution loads a ``dim x dim`` sub-block plus its
+four width-1 borders per level; east/west borders are column slices and
+therefore non-contiguous in a row-major grid, so the paper packs them
+into compact vectors before moving them down the tree
+(:func:`pack_borders` / :func:`unpack_borders`).  With borders supplied
+from the neighbouring blocks, one blocked step is bit-identical to the
+full-grid step -- the invariant the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compute.processor import KernelCost
+from repro.errors import KernelError
+
+#: Rodinia chip constants.
+_CHIP_HEIGHT = 0.016  # m
+_CHIP_WIDTH = 0.016   # m
+_T_CHIP = 0.0005      # m, die thickness
+_K_SI = 100.0         # W/(m K), silicon conductivity
+_SPEC_HEAT_SI = 1.75e6
+_FACTOR_CHIP = 0.5
+_AMB_TEMP = 80.0      # Rodinia's ambient, in its scaled units
+_MAX_PD = 3.0e6       # max power density
+
+
+@dataclass(frozen=True)
+class HotspotParams:
+    """Discretised coefficients for one grid resolution.
+
+    ``step_div_cap`` and the inverse resistances are precomputed, matching
+    the Rodinia kernel's single fused update:
+
+    ``t' = t + step/cap * (p + (tn + ts - 2t)/Ry + (te + tw - 2t)/Rx
+    + (amb - t)/Rz)``
+    """
+
+    rx_inv: float
+    ry_inv: float
+    rz_inv: float
+    step_div_cap: float
+    amb_temp: float = _AMB_TEMP
+
+    def __post_init__(self) -> None:
+        for field_name in ("rx_inv", "ry_inv", "rz_inv", "step_div_cap"):
+            v = getattr(self, field_name)
+            if not np.isfinite(v) or v <= 0:
+                raise KernelError(f"{field_name} must be positive and finite, got {v}")
+
+
+def default_params(rows: int, cols: int) -> HotspotParams:
+    """Rodinia coefficients for a ``rows x cols`` grid.
+
+    The explicit-Euler step is chosen from the grid's thermal constants
+    (PRECISION/max_slope in Rodinia), keeping the update stable at any
+    resolution.
+    """
+    if rows < 1 or cols < 1:
+        raise KernelError(f"grid must be at least 1x1, got {rows}x{cols}")
+    grid_height = _CHIP_HEIGHT / rows
+    grid_width = _CHIP_WIDTH / cols
+    cap = _FACTOR_CHIP * _SPEC_HEAT_SI * _T_CHIP * grid_width * grid_height
+    rx = grid_width / (2.0 * _K_SI * _T_CHIP * grid_height)
+    ry = grid_height / (2.0 * _K_SI * _T_CHIP * grid_width)
+    rz = _T_CHIP / (_K_SI * grid_height * grid_width)
+    max_slope = _MAX_PD / (_FACTOR_CHIP * _T_CHIP * _SPEC_HEAT_SI)
+    step = 0.001 / max_slope  # PRECISION = 0.001
+    return HotspotParams(rx_inv=1.0 / rx, ry_inv=1.0 / ry, rz_inv=1.0 / rz,
+                         step_div_cap=step / cap)
+
+
+@dataclass
+class Borders:
+    """Width-1 halos around a block: the neighbour cells just outside it.
+
+    ``north``/``south`` have one entry per column, ``west``/``east`` one
+    per row.  At the chip boundary Rodinia clamps to the edge cell's own
+    value; :meth:`replicate` builds that case.
+    """
+
+    north: np.ndarray
+    south: np.ndarray
+    west: np.ndarray
+    east: np.ndarray
+
+    def validate(self, rows: int, cols: int) -> None:
+        """Check border shapes against the block; raises KernelError."""
+        if self.north.shape != (cols,) or self.south.shape != (cols,):
+            raise KernelError(
+                f"north/south borders must have shape ({cols},), got "
+                f"{self.north.shape} and {self.south.shape}")
+        if self.west.shape != (rows,) or self.east.shape != (rows,):
+            raise KernelError(
+                f"west/east borders must have shape ({rows},), got "
+                f"{self.west.shape} and {self.east.shape}")
+
+    @classmethod
+    def replicate(cls, temp: np.ndarray) -> "Borders":
+        """Chip-boundary borders: each edge replicated outward."""
+        return cls(north=temp[0].copy(), south=temp[-1].copy(),
+                   west=temp[:, 0].copy(), east=temp[:, -1].copy())
+
+
+def extract_borders(grid: np.ndarray, r0: int, r1: int, c0: int,
+                    c1: int) -> Borders:
+    """Borders for block ``grid[r0:r1, c0:c1]`` taken from the full grid,
+    replicating at chip edges.  This is what ``data_down`` ships along
+    with the block (Figure 4)."""
+    rows, cols = grid.shape
+    if not (0 <= r0 < r1 <= rows and 0 <= c0 < c1 <= cols):
+        raise KernelError(f"block [{r0}:{r1}, {c0}:{c1}] outside grid {grid.shape}")
+    north = grid[r0 - 1, c0:c1] if r0 > 0 else grid[r0, c0:c1]
+    south = grid[r1, c0:c1] if r1 < rows else grid[r1 - 1, c0:c1]
+    west = grid[r0:r1, c0 - 1] if c0 > 0 else grid[r0:r1, c0]
+    east = grid[r0:r1, c1] if c1 < cols else grid[r0:r1, c1 - 1]
+    return Borders(north=north.copy(), south=south.copy(),
+                   west=west.copy(), east=east.copy())
+
+
+def pack_borders(b: Borders) -> np.ndarray:
+    """Concatenate the four borders into one contiguous vector
+    (north | south | west | east) for efficient bulk movement --
+    the paper's fix for non-contiguous east/west column slices."""
+    return np.concatenate([b.north, b.south, b.west, b.east])
+
+
+def unpack_borders(packed: np.ndarray, rows: int, cols: int) -> Borders:
+    """Inverse of :func:`pack_borders` for a ``rows x cols`` block."""
+    expected = 2 * cols + 2 * rows
+    if packed.shape != (expected,):
+        raise KernelError(
+            f"packed borders for a {rows}x{cols} block need shape "
+            f"({expected},), got {packed.shape}")
+    return Borders(north=packed[:cols],
+                   south=packed[cols:2 * cols],
+                   west=packed[2 * cols:2 * cols + rows],
+                   east=packed[2 * cols + rows:])
+
+
+def hotspot_step(temp: np.ndarray, power: np.ndarray, params: HotspotParams,
+                 borders: Borders | None = None,
+                 out: np.ndarray | None = None) -> np.ndarray:
+    """One explicit Euler step on a block.
+
+    ``borders`` supplies the halo; ``None`` means chip-boundary
+    (replicated-edge) conditions, i.e. the block is the whole chip.
+    """
+    if temp.ndim != 2:
+        raise KernelError(f"temperature grid must be 2-D, got {temp.ndim}-D")
+    if temp.shape != power.shape:
+        raise KernelError(f"temp {temp.shape} and power {power.shape} differ")
+    rows, cols = temp.shape
+    if borders is None:
+        borders = Borders.replicate(temp)
+    borders.validate(rows, cols)
+
+    # Neighbour fields via one padded array: cheap, vectorised, and the
+    # same arithmetic whether the block is interior or at the chip edge.
+    padded = np.empty((rows + 2, cols + 2), dtype=temp.dtype)
+    padded[1:-1, 1:-1] = temp
+    padded[0, 1:-1] = borders.north
+    padded[-1, 1:-1] = borders.south
+    padded[1:-1, 0] = borders.west
+    padded[1:-1, -1] = borders.east
+    north = padded[0:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, 0:-2]
+    east = padded[1:-1, 2:]
+
+    delta = params.step_div_cap * (
+        power
+        + (north + south - 2.0 * temp) * params.ry_inv
+        + (east + west - 2.0 * temp) * params.rx_inv
+        + (params.amb_temp - temp) * params.rz_inv
+    )
+    if out is None:
+        return (temp + delta).astype(temp.dtype, copy=False)
+    np.add(temp, delta.astype(out.dtype, copy=False), out=out)
+    return out
+
+
+@dataclass(frozen=True)
+class ChipEdges:
+    """Which sides of a block lie on the chip boundary (no neighbour)."""
+
+    north: bool = False
+    south: bool = False
+    west: bool = False
+    east: bool = False
+
+    @classmethod
+    def of_block(cls, r0: int, r1: int, c0: int, c1: int, rows: int,
+                 cols: int) -> "ChipEdges":
+        """Edges of block [r0:r1, c0:c1] within a rows x cols chip."""
+        return cls(north=(r0 == 0), south=(r1 == rows),
+                   west=(c0 == 0), east=(c1 == cols))
+
+    @classmethod
+    def whole_chip(cls) -> "ChipEdges":
+        """All four sides are chip boundary (an undecomposed grid)."""
+        return cls(north=True, south=True, west=True, east=True)
+
+    def intersect(self, other: "ChipEdges") -> "ChipEdges":
+        """Edges of a sub-block: chip-boundary only where both the
+        parent side is boundary and the sub-block touches it."""
+        return ChipEdges(north=self.north and other.north,
+                         south=self.south and other.south,
+                         west=self.west and other.west,
+                         east=self.east and other.east)
+
+
+def _refresh_chip_ghosts(padded: np.ndarray, halo: int,
+                         edges: ChipEdges) -> None:
+    """Reset ghost bands on chip-boundary sides to the replicated edge.
+
+    Run before every step so boundary cells see Rodinia's
+    replicate-the-edge condition regardless of how stale the synthetic
+    ghost band has become.
+    """
+    if edges.north:
+        padded[:halo, :] = padded[halo, :]
+    if edges.south:
+        padded[-halo:, :] = padded[-halo - 1, :]
+    if edges.west:
+        padded[:, :halo] = padded[:, halo][:, None]
+    if edges.east:
+        padded[:, -halo:] = padded[:, -halo - 1][:, None]
+
+
+def hotspot_multistep(t_pad: np.ndarray, p_pad: np.ndarray,
+                      params: HotspotParams, steps: int,
+                      edges: ChipEdges) -> np.ndarray:
+    """``steps`` Euler steps on a halo-padded block (the ghost-zone /
+    "pyramid" scheme of the Rodinia GPU kernel the paper uses).
+
+    ``t_pad``/``p_pad`` carry the block plus a ``steps``-wide halo of
+    real neighbour data (replicated where a side is chip boundary).
+    Each step invalidates one more halo ring; after ``steps`` steps the
+    interior ``[steps:-steps, steps:-steps]`` is bit-identical to
+    ``steps`` full-grid iterations -- the property the tests pin down.
+    Returns only that valid interior.
+    """
+    if steps < 1:
+        raise KernelError(f"steps must be >= 1, got {steps}")
+    if t_pad.shape != p_pad.shape:
+        raise KernelError(
+            f"padded temp {t_pad.shape} and power {p_pad.shape} differ")
+    if t_pad.shape[0] <= 2 * steps or t_pad.shape[1] <= 2 * steps:
+        raise KernelError(
+            f"padded block {t_pad.shape} too small for a {steps}-wide halo")
+    cur = t_pad.copy()
+    for _ in range(steps):
+        _refresh_chip_ghosts(cur, steps, edges)
+        cur = hotspot_step(cur, p_pad, params)
+    return cur[steps:-steps, steps:-steps].copy()
+
+
+def pad_grid(temp: np.ndarray, halo: int) -> np.ndarray:
+    """The whole chip with a replicate-filled ``halo`` band around it --
+    the root-level padded field the blocked decomposition slices."""
+    if halo < 0:
+        raise KernelError(f"halo must be >= 0, got {halo}")
+    return np.pad(temp, halo, mode="edge")
+
+
+def hotspot_run(temp: np.ndarray, power: np.ndarray, params: HotspotParams,
+                steps: int) -> np.ndarray:
+    """``steps`` full-grid iterations (the in-memory baseline)."""
+    if steps < 0:
+        raise KernelError(f"steps must be >= 0, got {steps}")
+    cur = temp.copy()
+    for _ in range(steps):
+        cur = hotspot_step(cur, power, params)
+    return cur
+
+
+def hotspot_cost(rows: int, cols: int, *, dtype_size: int = 4,
+                 steps: int = 1) -> KernelCost:
+    """Roofline cost of ``steps`` stencil launches on a block.
+
+    Per cell: ~14 flops; traffic is one read of temp and power and one
+    write of temp (neighbour reuse is caught by the hardware cache), so
+    the kernel is strongly bandwidth-bound -- the reason HotSpot cannot
+    hide slow storage the way GEMM does (Section V-B).
+    """
+    if rows < 1 or cols < 1:
+        raise KernelError(f"grid must be at least 1x1, got {rows}x{cols}")
+    cells = float(rows * cols)
+    # bw_efficiency is calibrated, not theoretical: the paper's APU GPU
+    # sustains roughly 0.2 Gcell/s on HotSpot-2D (consistent with its
+    # "8x over the CPU" measurement and Rodinia-era Kaveri results),
+    # i.e. ~12% of the 20 GB/s DRAM interface once launch gaps, border
+    # handling, and uncoalesced edges are paid.
+    return KernelCost(flops=14.0 * cells * steps,
+                      bytes_read=2.0 * cells * dtype_size * steps,
+                      bytes_written=1.0 * cells * dtype_size * steps,
+                      efficiency=0.55,
+                      bw_efficiency=0.12)

@@ -1,0 +1,49 @@
+"""Named processor registry.
+
+Topology specs name processors with strings (``"cpu"``, ``"gpu-apu"``,
+``"gpu-w9100"``); this module resolves them, mirroring
+:mod:`repro.memory.catalog` for devices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compute.cpu import make_cpu_steamroller
+from repro.compute.gpu import make_gpu_apu, make_gpu_w9100
+from repro.compute.processor import Processor
+from repro.errors import ConfigError
+
+_FACTORIES: dict[str, Callable[..., Processor]] = {
+    "cpu": make_cpu_steamroller,
+    "gpu-apu": make_gpu_apu,
+    "gpu-w9100": make_gpu_w9100,
+}
+
+
+def make_processor(kind_name: str, *, name: str | None = None) -> Processor:
+    """Instantiate a registered processor, optionally renaming it."""
+    try:
+        factory = _FACTORIES[kind_name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown processor {kind_name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    if name is None:
+        return factory()
+    return factory(name=name)
+
+
+def names() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def register(kind_name: str, factory: Callable[..., Processor]) -> None:
+    """Register a custom processor factory (FPGA models, test doubles).
+
+    This is the "computation as a standalone plug-in" extension point the
+    paper's conclusion calls out.
+    """
+    if kind_name in _FACTORIES:
+        raise ConfigError(f"processor {kind_name!r} already registered")
+    _FACTORIES[kind_name] = factory

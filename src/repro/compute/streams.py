@@ -1,0 +1,74 @@
+"""OpenCL/CUDA-style streams.
+
+Section III-C: "Data transfer optimization is further made for
+overlapping computation and communications (i.e., OpenCL/CUDA streams)
+at the leaf node."  A :class:`Stream` is an ordered queue of operations;
+operations in the *same* stream serialise, operations in *different*
+streams may overlap.  On the virtual timeline this is expressed by
+threading each stream's completion time through its operations while the
+underlying hardware resources (copy engine, compute engine) impose the
+physical limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.timeline import Completion, Timeline
+from repro.sim.trace import Phase
+
+
+@dataclass
+class Stream:
+    """One in-order operation queue bound to a timeline.
+
+    ``tail`` is the completion time of the last operation enqueued; each
+    new operation becomes ready at ``max(tail, extra dependency)``.
+    """
+
+    name: str
+    timeline: Timeline
+    tail: float = 0.0
+
+    def enqueue(self, resource: str, duration: float, phase: Phase, *,
+                ready: float = 0.0, label: str = "",
+                nbytes: int = 0) -> Completion:
+        """Charge an operation that runs after everything already in the
+        stream and after ``ready``."""
+        done = self.timeline.charge(resource, duration, phase,
+                                    ready=max(self.tail, ready),
+                                    label=label, nbytes=nbytes)
+        self.tail = done.end
+        return done
+
+    def synchronize(self) -> float:
+        """Completion time of all enqueued work (clFinish)."""
+        return self.tail
+
+
+@dataclass
+class StreamPool:
+    """Round-robin pool of streams, the standard double/triple-buffering
+    pattern: transfers for chunk ``k+1`` land in a different stream than
+    the compute for chunk ``k`` and therefore overlap it."""
+
+    timeline: Timeline
+    size: int = 2
+    prefix: str = "stream"
+    _streams: list[Stream] = field(default_factory=list)
+    _next: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"stream pool needs >= 1 stream, got {self.size}")
+        self._streams = [Stream(name=f"{self.prefix}{i}", timeline=self.timeline)
+                         for i in range(self.size)]
+
+    def next_stream(self) -> Stream:
+        s = self._streams[self._next % self.size]
+        self._next += 1
+        return s
+
+    def synchronize(self) -> float:
+        """Completion time of all work in all streams."""
+        return max((s.tail for s in self._streams), default=0.0)

@@ -1,0 +1,184 @@
+"""Layout-transforming data movement (paper Section VI, "Data Layout").
+
+"Different architectures may favor different memory layouts and access
+patterns (e.g., row versus col-major, AoS versus SoA) ... One can
+imagine when data migrates across memory levels, chunks can be
+transformed and stored in different formats.  Northup can be easily
+extended to support this with a special version of move_data()."
+
+This module is that extension: :class:`LayoutTransform` subclasses
+rewrite a chunk's bytes in flight, and
+:meth:`repro.core.system.System.move_transformed` applies one during a
+move, charging the transformation cost on the destination node (layout
+conversion "is beneficial for applications with sufficient data reuse"
+-- the cost model makes that trade-off measurable).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TransferError
+
+
+class LayoutTransform(ABC):
+    """A bytes -> bytes rewrite applied while a chunk moves."""
+
+    @abstractmethod
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Transform a uint8 payload; must preserve length."""
+
+    @abstractmethod
+    def inverse(self) -> "LayoutTransform":
+        """The transform that undoes this one."""
+
+    @property
+    @abstractmethod
+    def expected_nbytes(self) -> int:
+        """Payload size this transform is defined for."""
+
+    #: Relative cost of the rewrite: extra bytes touched per payload
+    #: byte (1.0 = one full read+write pass at copy bandwidth).
+    cost_factor: float = 1.0
+
+    def check(self, nbytes: int) -> None:
+        if nbytes != self.expected_nbytes:
+            raise TransferError(
+                f"{type(self).__name__} is defined for "
+                f"{self.expected_nbytes} bytes, got {nbytes}")
+
+
+@dataclass(frozen=True)
+class Identity(LayoutTransform):
+    """No-op transform (useful as a default and in tests)."""
+
+    nbytes: int
+    cost_factor: float = 0.0
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        return data
+
+    def inverse(self) -> "Identity":
+        return self
+
+    @property
+    def expected_nbytes(self) -> int:
+        return self.nbytes
+
+
+@dataclass(frozen=True)
+class Transpose(LayoutTransform):
+    """Row-major <-> column-major conversion of a 2-D chunk.
+
+    The strided gather makes this the most expensive rewrite
+    (``cost_factor`` 2.0: one strided read pass plus one linear write).
+    """
+
+    rows: int
+    cols: int
+    elem_size: int = 4
+    cost_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1 or self.elem_size < 1:
+            raise TransferError(
+                f"invalid transpose shape {self.rows}x{self.cols} "
+                f"(elem {self.elem_size})")
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        self.check(data.size)
+        mat = data.reshape(self.rows, self.cols, self.elem_size)
+        return np.ascontiguousarray(mat.transpose(1, 0, 2)).reshape(-1)
+
+    def inverse(self) -> "Transpose":
+        return Transpose(rows=self.cols, cols=self.rows,
+                         elem_size=self.elem_size)
+
+    @property
+    def expected_nbytes(self) -> int:
+        return self.rows * self.cols * self.elem_size
+
+
+@dataclass(frozen=True)
+class AosToSoa(LayoutTransform):
+    """Array-of-structures -> structure-of-arrays.
+
+    ``field_sizes`` are the byte widths of the record's fields; the
+    payload holds ``count`` records.  The inverse is
+    :class:`SoaToAos` with the same geometry.
+    """
+
+    field_sizes: tuple[int, ...]
+    count: int
+    cost_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.field_sizes or any(s < 1 for s in self.field_sizes):
+            raise TransferError(f"invalid field sizes {self.field_sizes}")
+        if self.count < 1:
+            raise TransferError(f"record count must be >= 1, got {self.count}")
+
+    @property
+    def record_size(self) -> int:
+        return sum(self.field_sizes)
+
+    @property
+    def expected_nbytes(self) -> int:
+        return self.record_size * self.count
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        self.check(data.size)
+        records = data.reshape(self.count, self.record_size)
+        out = np.empty_like(data)
+        pos_out = 0
+        pos_in = 0
+        for size in self.field_sizes:
+            field = records[:, pos_in:pos_in + size].reshape(-1)
+            out[pos_out:pos_out + field.size] = field
+            pos_out += field.size
+            pos_in += size
+        return out
+
+    def inverse(self) -> "SoaToAos":
+        return SoaToAos(field_sizes=self.field_sizes, count=self.count)
+
+
+@dataclass(frozen=True)
+class SoaToAos(LayoutTransform):
+    """Structure-of-arrays -> array-of-structures (inverse of
+    :class:`AosToSoa`)."""
+
+    field_sizes: tuple[int, ...]
+    count: int
+    cost_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        AosToSoa.__post_init__(self)  # same validation
+
+    @property
+    def record_size(self) -> int:
+        return sum(self.field_sizes)
+
+    @property
+    def expected_nbytes(self) -> int:
+        return self.record_size * self.count
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        self.check(data.size)
+        out = np.empty_like(data)
+        records = out.reshape(self.count, self.record_size)
+        pos_in = 0
+        pos_rec = 0
+        for size in self.field_sizes:
+            field = data[pos_in:pos_in + size * self.count]
+            records[:, pos_rec:pos_rec + size] = field.reshape(self.count,
+                                                               size)
+            pos_in += size * self.count
+            pos_rec += size
+        return out
+
+    def inverse(self) -> "AosToSoa":
+        return AosToSoa(field_sizes=self.field_sizes, count=self.count)

@@ -1,0 +1,117 @@
+"""Execution breakdowns.
+
+Figures 7 and 8 of the paper stack each run into CPU execution, GPU
+execution, buffer setup, and data transfers/I/O.  :func:`profile_trace`
+folds a :class:`~repro.sim.trace.Trace` into that shape.  Two quantities
+matter and are both reported:
+
+* ``makespan`` -- virtual wall-clock of the run (what Figure 6's
+  normalized-runtime bars compare);
+* per-category **busy time** -- how long each category was active,
+  irrespective of overlap (what the stacked breakdown bars show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Phase, Trace
+
+
+@dataclass
+class Breakdown:
+    """Aggregated timing of one run."""
+
+    makespan: float
+    by_phase: dict[Phase, float] = field(default_factory=dict)
+    bytes_by_phase: dict[Phase, int] = field(default_factory=dict)
+
+    # -- grouped views (the paper's categories) --------------------------
+
+    @property
+    def cpu(self) -> float:
+        return self.by_phase.get(Phase.CPU_COMPUTE, 0.0)
+
+    @property
+    def gpu(self) -> float:
+        return self.by_phase.get(Phase.GPU_COMPUTE, 0.0)
+
+    @property
+    def setup(self) -> float:
+        return self.by_phase.get(Phase.SETUP, 0.0)
+
+    @property
+    def io(self) -> float:
+        """File-storage reads + writes (the paper's "I/Os")."""
+        return (self.by_phase.get(Phase.IO_READ, 0.0)
+                + self.by_phase.get(Phase.IO_WRITE, 0.0))
+
+    @property
+    def dev_transfer(self) -> float:
+        """Host <-> accelerator copies (the paper's "OpenCL transfers")."""
+        return self.by_phase.get(Phase.DEV_TRANSFER, 0.0)
+
+    @property
+    def mem_copy(self) -> float:
+        return self.by_phase.get(Phase.MEM_COPY, 0.0)
+
+    @property
+    def transfers(self) -> float:
+        """All data movement: I/O + device transfers + memory copies."""
+        return self.io + self.dev_transfer + self.mem_copy
+
+    @property
+    def runtime(self) -> float:
+        """Framework bookkeeping -- Section V-B reports this < 1%."""
+        return self.by_phase.get(Phase.RUNTIME, 0.0)
+
+    @property
+    def busy_total(self) -> float:
+        return sum(self.by_phase.values())
+
+    def shares(self) -> dict[str, float]:
+        """Busy-time shares per paper category (sum to 1.0 when any
+        work was recorded)."""
+        total = self.busy_total
+        if total == 0:
+            return {"cpu": 0.0, "gpu": 0.0, "setup": 0.0, "transfer": 0.0,
+                    "runtime": 0.0}
+        return {
+            "cpu": self.cpu / total,
+            "gpu": self.gpu / total,
+            "setup": self.setup / total,
+            "transfer": self.transfers / total,
+            "runtime": self.runtime / total,
+        }
+
+    def runtime_overhead_fraction(self) -> float:
+        """Runtime bookkeeping as a fraction of all busy time."""
+        total = self.busy_total
+        return self.runtime / total if total else 0.0
+
+    def table(self, title: str = "") -> str:
+        """Formatted per-category table (seconds and shares)."""
+        rows = [("cpu", self.cpu), ("gpu", self.gpu), ("setup", self.setup),
+                ("io", self.io), ("dev_transfer", self.dev_transfer),
+                ("mem_copy", self.mem_copy), ("runtime", self.runtime)]
+        total = self.busy_total or 1.0
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'category':<14}{'seconds':>12}{'share':>9}")
+        for name, sec in rows:
+            lines.append(f"{name:<14}{sec:>12.6f}{sec / total:>8.1%}")
+        lines.append(f"{'makespan':<14}{self.makespan:>12.6f}")
+        return "\n".join(lines)
+
+
+def profile_trace(trace: Trace) -> Breakdown:
+    """Fold a trace into a :class:`Breakdown`."""
+    by_phase: dict[Phase, float] = {}
+    bytes_by_phase: dict[Phase, int] = {}
+    for iv in trace:
+        by_phase[iv.phase] = by_phase.get(iv.phase, 0.0) + iv.duration
+        if iv.nbytes:
+            bytes_by_phase[iv.phase] = bytes_by_phase.get(iv.phase, 0) + iv.nbytes
+    return Breakdown(makespan=trace.makespan(), by_phase=by_phase,
+                     bytes_by_phase=bytes_by_phase)

@@ -1,0 +1,161 @@
+"""The recursive algorithm template (paper Listing 3).
+
+A :class:`NorthupProgram` expresses an application as the paper's
+``myfunction``: check for a leaf, otherwise decompose, set up buffers on
+the next level, move each chunk down, spawn recursively, and move
+results back up.  The driver below is that function; applications
+implement the hooks.
+
+The hooks intentionally mirror Listing 3's helper names
+(``compute_task``, ``setup_buffers``, ``data_down``, ``data_up``) so a
+reader can put the paper and an app module side by side.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from repro.core.context import ExecutionContext, root_context
+from repro.core.system import System
+from repro.errors import SchedulerError
+from repro.topology.node import TreeNode
+
+
+class NorthupProgram(ABC):
+    """Base class for divide-and-conquer Northup applications.
+
+    Subclasses implement:
+
+    * :meth:`decompose` -- yield chunk descriptors for the current level
+      (anything hashable/printable; apps use tiles, row ranges, shards);
+    * :meth:`setup_buffers` -- allocate next-level buffers for a chunk
+      and return the payload handed to the child context;
+    * :meth:`data_down` -- move the chunk's data to the child node;
+    * :meth:`compute_task` -- leaf computation;
+    * :meth:`data_up` -- move results back to the parent;
+    * optionally :meth:`teardown_buffers` (defaults to releasing every
+      handle in a payload dict) and :meth:`select_child` (defaults to
+      the first child, Listing 3's ``get_children_list()[0]``).
+    """
+
+    # -- hooks -------------------------------------------------------------
+
+    @abstractmethod
+    def decompose(self, ctx: ExecutionContext) -> Iterable[Any]:
+        """Chunk descriptors for this level (Listing 3's (m, n) loop)."""
+
+    @abstractmethod
+    def setup_buffers(self, ctx: ExecutionContext, child: TreeNode,
+                      chunk: Any) -> Any:
+        """Allocate child-level buffers; returns the child payload."""
+
+    @abstractmethod
+    def data_down(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                  chunk: Any) -> None:
+        """Move the chunk's inputs from ``ctx.node`` to the child."""
+
+    @abstractmethod
+    def compute_task(self, ctx: ExecutionContext) -> None:
+        """Leaf computation on the processor(s) at ``ctx.node``."""
+
+    @abstractmethod
+    def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
+                chunk: Any) -> None:
+        """Move the chunk's results from the child back to ``ctx.node``."""
+
+    def select_child(self, ctx: ExecutionContext, chunk: Any) -> TreeNode:
+        """Which child receives this chunk.  Default: the first child.
+
+        Multi-branch trees (Figure 2's node 3 with children 6 and 7) can
+        override this to spread chunks across subtrees.
+        """
+        return ctx.first_child()
+
+    def teardown_buffers(self, ctx: ExecutionContext,
+                         child_ctx: ExecutionContext, chunk: Any) -> None:
+        """Release the chunk's child-level buffers.
+
+        Default: release every :class:`BufferHandle` found in a dict or
+        list payload.  Apps that cache buffers across chunks (the GEMM
+        row-shard reuse) override this.
+        """
+        from repro.core.buffers import BufferHandle
+
+        payload = child_ctx.payload
+        handles: list[BufferHandle] = []
+        if isinstance(payload, dict):
+            handles = [v for v in payload.values()
+                       if isinstance(v, BufferHandle)]
+        elif isinstance(payload, (list, tuple)):
+            handles = [v for v in payload if isinstance(v, BufferHandle)]
+        elif isinstance(payload, BufferHandle):
+            handles = [payload]
+        for h in handles:
+            if not h.released:
+                ctx.system.release(h)
+
+    # -- optional lifecycle hooks -------------------------------------------
+
+    def before_run(self, ctx: ExecutionContext) -> None:
+        """Called once at the root before recursion starts."""
+
+    def after_run(self, ctx: ExecutionContext) -> None:
+        """Called once at the root after recursion completes."""
+
+    def after_level(self, ctx: ExecutionContext) -> None:
+        """Called after a level finishes its chunk loop.
+
+        Apps that cache buffers across chunks (the GEMM row-shard reuse
+        of Section IV-A) release the stragglers here."""
+
+    # -- the driver (Listing 3's myfunction) ----------------------------------
+
+    def recurse(self, ctx: ExecutionContext) -> None:
+        """One recursion level: compute at a leaf, otherwise chunk and
+        descend.
+
+        Each level anchors a :class:`~repro.core.scheduler.LevelQueue`
+        at its tree node (Listing 1's ``work_queue``): given n chunks, n
+        tasks are enqueued and advanced through queued -> moving ->
+        resident -> computed -> done as the chunk progresses
+        (Section III-C's progress tracking, and the state a dynamic load
+        balancer would inspect).
+        """
+        from repro.core.scheduler import LevelQueue, TaskState
+
+        if ctx.is_leaf:
+            self.compute_task(ctx)
+            return
+        queue = LevelQueue(level=ctx.node.level)
+        ctx.node.work_queues = [queue]
+        ctx.scratch["level_queue"] = queue
+        chunks = list(self.decompose(ctx))
+        tasks = [queue.enqueue(chunk) for chunk in chunks]
+        ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
+        for chunk, task in zip(chunks, tasks):
+            child = self.select_child(ctx, chunk)
+            if child.parent is not ctx.node:
+                raise SchedulerError(
+                    f"select_child returned node {child.node_id}, not a "
+                    f"child of {ctx.node.node_id}")
+            payload = self.setup_buffers(ctx, child, chunk)
+            child_ctx = ctx.descend(child, chunk=chunk, payload=payload)
+            task.advance(TaskState.MOVING)
+            self.data_down(ctx, child_ctx, chunk)
+            task.advance(TaskState.RESIDENT)
+            self.recurse(child_ctx)
+            task.advance(TaskState.COMPUTED)
+            self.data_up(ctx, child_ctx, chunk)
+            self.teardown_buffers(ctx, child_ctx, chunk)
+            task.advance(TaskState.DONE)
+        self.after_level(ctx)
+
+    def run(self, system: System) -> ExecutionContext:
+        """Execute the program from the tree root; returns the root
+        context (whose payload typically holds the result handles)."""
+        ctx = root_context(system)
+        self.before_run(ctx)
+        self.recurse(ctx)
+        self.after_run(ctx)
+        return ctx

@@ -1,0 +1,131 @@
+"""Per-level task tracking and multi-stage transfer pipelining.
+
+Section III-C: "We also support task queues to keep track of the
+progress of data movement for individual chunks ... This enables
+multi-stage data transfer and better parallelism.  Whenever the space of
+lower memory levels is freed, more chunks can be scheduled for
+movement."
+
+Two pieces implement that here:
+
+* :class:`LevelQueue` -- a bookkeeping queue of chunk tasks per memory
+  level, recording state transitions (queued -> moving -> resident ->
+  computed -> written-back).  Its counters feed the runtime-overhead
+  measurement.
+* :class:`BufferPool` -- N interchangeable buffer *sets* on a node.
+  Acquiring sets round-robin is the pipelining mechanism: because a
+  buffer may only be overwritten after its last reader finished
+  (tracked on the handle), N sets give a prefetch depth of N-1 with no
+  further scheduling code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.buffers import BufferHandle
+from repro.core.system import System
+from repro.errors import SchedulerError
+from repro.topology.node import TreeNode
+
+
+class TaskState(enum.Enum):
+    QUEUED = "queued"
+    MOVING = "moving"
+    RESIDENT = "resident"
+    COMPUTED = "computed"
+    DONE = "done"
+
+
+_ORDER = [TaskState.QUEUED, TaskState.MOVING, TaskState.RESIDENT,
+          TaskState.COMPUTED, TaskState.DONE]
+
+
+@dataclass
+class ChunkTask:
+    """Progress record of one chunk at one level."""
+
+    chunk: Any
+    state: TaskState = TaskState.QUEUED
+
+    def advance(self, to: TaskState) -> None:
+        if _ORDER.index(to) <= _ORDER.index(self.state):
+            raise SchedulerError(
+                f"task for {self.chunk!r} cannot go {self.state.value} -> "
+                f"{to.value}")
+        self.state = to
+
+
+@dataclass
+class LevelQueue:
+    """Task queue for one memory level (per-memory-level queue of
+    Section III-C).  Given n chunks at level i, n tasks are enqueued."""
+
+    level: int
+    tasks: list[ChunkTask] = field(default_factory=list)
+
+    def enqueue(self, chunk: Any) -> ChunkTask:
+        task = ChunkTask(chunk=chunk)
+        self.tasks.append(task)
+        return task
+
+    def count(self, state: TaskState) -> int:
+        return sum(1 for t in self.tasks if t.state is state)
+
+    @property
+    def all_done(self) -> bool:
+        return all(t.state is TaskState.DONE for t in self.tasks)
+
+    def progress(self) -> str:
+        return (f"L{self.level}: " + " ".join(
+            f"{s.value}={self.count(s)}" for s in _ORDER))
+
+
+@dataclass
+class BufferPool:
+    """N interchangeable buffer sets on one node.
+
+    ``factory(set_index)`` allocates one set (a dict of named handles).
+    With ``depth >= 2``, consecutive chunks land in different sets, so
+    the load of chunk ``k+1`` overlaps the compute of chunk ``k`` --
+    the paper's multi-stage transfer, expressed as buffer reuse.
+    """
+
+    system: System
+    node: TreeNode
+    depth: int
+    factory: Callable[[int], dict[str, BufferHandle]]
+    _sets: list[dict[str, BufferHandle]] = field(default_factory=list)
+    _next: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise SchedulerError(f"pipeline depth must be >= 1, got {self.depth}")
+        for i in range(self.depth):
+            made = self.factory(i)
+            if not isinstance(made, dict) or not all(
+                    isinstance(v, BufferHandle) for v in made.values()):
+                raise SchedulerError(
+                    "BufferPool factory must return a dict of BufferHandles")
+            self._sets.append(made)
+
+    def acquire(self) -> dict[str, BufferHandle]:
+        """The next buffer set in round-robin order."""
+        s = self._sets[self._next % self.depth]
+        self._next += 1
+        return s
+
+    def release_all(self) -> None:
+        for made in self._sets:
+            for handle in made.values():
+                if not handle.released:
+                    self.system.release(handle)
+        self._sets.clear()
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release_all()

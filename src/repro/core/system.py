@@ -1,0 +1,530 @@
+"""The System: a topology tree bound to a virtual timeline.
+
+This is where Table I's unified data-management interface lives.  The
+runtime examines the source and destination tree nodes of every request
+and picks the right mechanics (file I/O vs. memory copy vs. device DMA,
+Listing 4), charges the cost to the right virtual resources, and moves
+the actual bytes between backends.  Applications only ever hold opaque
+:class:`~repro.core.buffers.BufferHandle` objects.
+
+Time accounting
+---------------
+Every timed operation threads two dependency times through handles:
+``ready_at`` (content valid) and ``last_read_end`` (safe to overwrite).
+Together with per-resource serialisation this reproduces the paper's
+pipelining: allocate two staging buffer sets and chunk ``k+1``'s load
+overlaps chunk ``k``'s kernel automatically.
+
+Untimed host-side access (:meth:`System.preload` / :meth:`System.fetch`)
+exists for workload preparation and result verification -- the paper
+likewise excludes input preprocessing from measured time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compute.processor import KernelCost, Processor
+from repro.core.buffers import BufferHandle, BufferRegistry
+from repro.core.profiler import Breakdown, profile_trace
+from repro.errors import TransferError
+from repro.memory.device import StorageKind
+from repro.sim.timeline import Completion, Timeline
+from repro.sim.trace import Phase
+from repro.topology.node import TreeNode
+from repro.topology.tree import TopologyTree
+
+#: Per-operation runtime bookkeeping cost (a handful of tree lookups and
+#: queue operations).  Section V-B measures total runtime overhead below
+#: 1% of execution; this constant is what that bench checks.
+RUNTIME_OP_COST = 0.5e-6
+
+#: Buffer-setup cost by storage kind: opening/creating a file, a
+#: clCreateBuffer-style driver call, or a plain allocation.
+SETUP_COST = {
+    StorageKind.FILE: 120e-6,
+    StorageKind.GPU_DEVICE: 30e-6,
+    StorageKind.GPU_LOCAL: 2e-6,
+    StorageKind.MEM: 5e-6,
+}
+
+
+def _transfer_phase(src: StorageKind, dst: StorageKind) -> Phase:
+    """Listing 4's dispatch: pick the operation class from the endpoint
+    storage types."""
+    if dst is StorageKind.FILE:
+        return Phase.IO_WRITE
+    if src is StorageKind.FILE:
+        return Phase.IO_READ
+    gpu_kinds = (StorageKind.GPU_DEVICE, StorageKind.GPU_LOCAL)
+    if src in gpu_kinds or dst in gpu_kinds:
+        return Phase.DEV_TRANSFER
+    return Phase.MEM_COPY
+
+
+@dataclass
+class WallStats:
+    """Wall-clock accounting of *physical* byte movement.
+
+    Virtual time is the experiment's clock; these numbers measure the
+    real work the host did moving bytes between backends.  With the
+    in-memory backend they cover array copies; with the file backend
+    they cover genuine filesystem I/O -- the out-of-core fidelity
+    evidence the file-backed integration tests assert on.
+    """
+
+    physical_seconds: float = 0.0
+    ops: int = 0
+    bytes_moved: int = 0
+
+    def note(self, seconds: float, nbytes: int) -> None:
+        self.physical_seconds += seconds
+        self.ops += 1
+        self.bytes_moved += nbytes
+
+
+@dataclass
+class MoveResult:
+    """Timing of one (possibly multi-hop) data movement."""
+
+    start: float
+    end: float
+    nbytes: int
+    hops: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class System:
+    """A machine: topology + timeline + buffer registry.
+
+    Parameters
+    ----------
+    tree:
+        A validated topology tree.  The system takes ownership; use
+        :meth:`close` to release device backends.
+    """
+
+    def __init__(self, tree: TopologyTree) -> None:
+        self.tree = tree
+        self.timeline = Timeline()
+        self.registry = BufferRegistry()
+        self.runtime_ops = 0
+        self.wall = WallStats()
+        self._proc_node: dict[str, TreeNode] = {}
+        for node in tree.nodes():
+            for proc in node.processors:
+                self._proc_node[proc.name] = node
+
+    # -- helpers -----------------------------------------------------------
+
+    def _node(self, node: TreeNode | int) -> TreeNode:
+        return self.tree.node(node) if isinstance(node, int) else node
+
+    def node_of(self, handle: BufferHandle) -> TreeNode:
+        """The tree node whose device holds ``handle``."""
+        return self.tree.node(handle.node_id)
+
+    def processor_node(self, proc: Processor) -> TreeNode:
+        """The tree node ``proc`` is attached to."""
+        try:
+            return self._proc_node[proc.name]
+        except KeyError:
+            raise TransferError(
+                f"processor {proc.name!r} is not attached to this tree") from None
+
+    def charge_runtime(self, ops: int = 1, *, label: str = "") -> None:
+        """Account framework bookkeeping (tree lookups, task control)."""
+        self.runtime_ops += ops
+        self.timeline.charge("host", ops * RUNTIME_OP_COST, Phase.RUNTIME,
+                             label=label)
+
+    # -- Table I: unified data management ------------------------------------
+
+    def alloc(self, nbytes: int, node: TreeNode | int, *,
+              label: str = "") -> BufferHandle:
+        """``alloc(size, tree_node)``: reserve space on a memory or
+        storage node and return an opaque handle.
+
+        Charges buffer-setup time (Figures 7/8's "setup" category); on a
+        file node this is the create/open path, on a GPU node the driver
+        allocation.
+        """
+        n = self._node(node)
+        alloc_id = n.device.allocate(nbytes)
+        handle = self.registry.register(node_id=n.node_id, nbytes=nbytes,
+                                        alloc_id=alloc_id, label=label)
+        done = self.timeline.charge("host", SETUP_COST[n.device.kind],
+                                    Phase.SETUP, label=label or f"alloc@{n.node_id}")
+        handle.note_write(done.end)  # zero-initialised content is valid
+        self.charge_runtime(1)
+        return handle
+
+    def release(self, handle: BufferHandle) -> None:
+        """``release(ptr)``: free the storage behind a handle."""
+        self.registry.check_live(handle)
+        node = self.node_of(handle)
+        self.registry.unregister(handle)
+        if not handle.is_mapped:
+            node.device.release(handle.alloc_id)
+        self.charge_runtime(1)
+
+    def move(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
+             dst_offset: int = 0, src_offset: int = 0,
+             label: str = "") -> MoveResult:
+        """``move_data(dst, src, size, offset, dst_node, src_node)``.
+
+        Endpoints may be anywhere in the tree; a transfer between
+        non-adjacent nodes walks the tree edge by edge (the runtime "may
+        walk up and down the tree"), charging each hop.  Bytes are moved
+        between backends once.
+        """
+        self.registry.check_live(src)
+        self.registry.check_live(dst)
+        if nbytes < 0:
+            raise TransferError(f"negative transfer size {nbytes}")
+        if src_offset + nbytes > src.nbytes:
+            raise TransferError(
+                f"read [{src_offset}, {src_offset + nbytes}) out of bounds "
+                f"for {src!r}")
+        if dst_offset + nbytes > dst.nbytes:
+            raise TransferError(
+                f"write [{dst_offset}, {dst_offset + nbytes}) out of bounds "
+                f"for {dst!r}")
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+
+        ready = max(src.ready_at, dst.last_read_end)
+        hops = 0
+        if src_node is dst_node:
+            dev = src_node.device
+            duration = dev.spec.latency + nbytes / min(dev.spec.read_bw,
+                                                       dev.spec.write_bw)
+            done = self.timeline.charge_path(
+                [dev.read_resource] if dev.read_resource == dev.write_resource
+                else [dev.read_resource, dev.write_resource],
+                duration, Phase.MEM_COPY, ready=ready, label=label,
+                nbytes=nbytes)
+            start, end = done.start, done.end
+            hops = 1
+        else:
+            start = None
+            end = ready
+            for edge_src, edge_dst in self._edge_path(src_node, dst_node):
+                done = self._charge_edge(edge_src, edge_dst, nbytes,
+                                         ready=end, label=label)
+                if start is None:
+                    start = done.start
+                end = done.end
+                hops += 1
+            assert start is not None
+
+        # Physical byte movement (eager; virtual time already charged).
+        t0 = time.perf_counter()
+        payload = src_node.device.read(src.alloc_id,
+                                       src.base_offset + src_offset, nbytes)
+        dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
+                              payload)
+        self.wall.note(time.perf_counter() - t0, nbytes)
+
+        src.note_read(end)
+        dst.note_write(end)
+        self.charge_runtime(2)
+        return MoveResult(start=start, end=end, nbytes=nbytes, hops=hops)
+
+    def move_2d(self, dst: BufferHandle, src: BufferHandle, *, rows: int,
+                row_bytes: int, src_offset: int, src_stride: int,
+                dst_offset: int, dst_stride: int,
+                label: str = "") -> MoveResult:
+        """A 2-D block transfer (Listing 2's ``dCopyBlockH2D``/``D2H``).
+
+        Moves ``rows`` runs of ``row_bytes`` with independent source and
+        destination strides.  Charged as *one* operation of
+        ``rows * row_bytes`` payload -- the 2-D DMA / pre-chunked-file
+        model; the paper preprocesses inputs precisely so chunk I/O is
+        bulk rather than per-row (Section V-B).
+        """
+        self.registry.check_live(src)
+        self.registry.check_live(dst)
+        if rows < 0 or row_bytes < 0:
+            raise TransferError(f"negative rows/row_bytes ({rows}, {row_bytes})")
+        if rows and row_bytes:
+            last_src = src_offset + (rows - 1) * src_stride + row_bytes
+            last_dst = dst_offset + (rows - 1) * dst_stride + row_bytes
+            if src_offset < 0 or last_src > src.nbytes:
+                raise TransferError(
+                    f"2-D read [{src_offset}..{last_src}) out of bounds for {src!r}")
+            if dst_offset < 0 or last_dst > dst.nbytes:
+                raise TransferError(
+                    f"2-D write [{dst_offset}..{last_dst}) out of bounds for {dst!r}")
+            if src_stride < row_bytes or dst_stride < row_bytes:
+                raise TransferError(
+                    f"strides ({src_stride}, {dst_stride}) smaller than the "
+                    f"row payload {row_bytes}: rows would overlap")
+        nbytes = rows * row_bytes
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+
+        ready = max(src.ready_at, dst.last_read_end)
+        start = None
+        end = ready
+        hops = 0
+        if src_node is dst_node:
+            dev = src_node.device
+            duration = dev.spec.latency + nbytes / min(dev.spec.read_bw,
+                                                       dev.spec.write_bw)
+            resources = ([dev.read_resource]
+                         if dev.read_resource == dev.write_resource
+                         else [dev.read_resource, dev.write_resource])
+            done = self.timeline.charge_path(resources, duration,
+                                             Phase.MEM_COPY, ready=ready,
+                                             label=label, nbytes=nbytes)
+            start, end, hops = done.start, done.end, 1
+        else:
+            for edge_src, edge_dst in self._edge_path(src_node, dst_node):
+                done = self._charge_edge(edge_src, edge_dst, nbytes,
+                                         ready=end, label=label)
+                if start is None:
+                    start = done.start
+                end = done.end
+                hops += 1
+            assert start is not None
+
+        t0 = time.perf_counter()
+        for r in range(rows):
+            payload = src_node.device.read(
+                src.alloc_id, src.base_offset + src_offset + r * src_stride,
+                row_bytes)
+            dst_node.device.write(
+                dst.alloc_id, dst.base_offset + dst_offset + r * dst_stride,
+                payload)
+        self.wall.note(time.perf_counter() - t0, nbytes)
+        src.note_read(end)
+        dst.note_write(end)
+        self.charge_runtime(2)
+        return MoveResult(start=start if start is not None else ready,
+                          end=end, nbytes=nbytes, hops=hops)
+
+    def map_region(self, handle: BufferHandle, offset: int, nbytes: int, *,
+                   label: str = "") -> BufferHandle:
+        """Map a window of an existing buffer (Section III-D: data
+        movement "can be implemented with memory mapping functions too").
+
+        The returned handle shares the parent's storage and dependency
+        times: no bytes move, no capacity is consumed, and creating or
+        releasing it costs only runtime bookkeeping.  Useful for treating
+        a chunk of a parent-level buffer as a first-class buffer without
+        a copy (e.g. when two tree levels share a physical memory).
+        """
+        self.registry.check_live(handle)
+        mapped = self.registry.register_mapped(handle, offset, nbytes,
+                                               label=label)
+        self.charge_runtime(1, label="mmap")
+        return mapped
+
+    def move_transformed(self, dst: BufferHandle, src: BufferHandle,
+                         nbytes: int, transform, *, dst_offset: int = 0,
+                         src_offset: int = 0,
+                         label: str = "") -> MoveResult:
+        """The "special version of move_data()" of Section VI: move a
+        chunk while rewriting its layout (row<->column major, AoS<->SoA).
+
+        The transport cost is the ordinary move; the rewrite is charged
+        as an additional pass over the bytes on the destination node
+        (where the converted copy is materialised), so the trade-off the
+        paper describes -- transformation pays off only with enough
+        reuse -- is visible in the timing.
+        """
+        transform.check(nbytes)
+        result = self.move(dst, src, nbytes, dst_offset=dst_offset,
+                           src_offset=src_offset,
+                           label=label or f"move+{type(transform).__name__}")
+        dst_node = self.node_of(dst)
+        payload = dst_node.device.read(dst.alloc_id,
+                                       dst.base_offset + dst_offset, nbytes)
+        dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
+                              transform.apply(payload))
+        if transform.cost_factor > 0:
+            dev = dst_node.device.spec
+            duration = (dev.latency + transform.cost_factor * nbytes
+                        / min(dev.read_bw, dev.write_bw))
+            resources = [dst_node.device.read_resource]
+            if dst_node.device.write_resource != dst_node.device.read_resource:
+                resources.append(dst_node.device.write_resource)
+            done = self.timeline.charge_path(
+                resources, duration, Phase.MEM_COPY, ready=result.end,
+                label=f"layout:{type(transform).__name__}", nbytes=nbytes)
+            dst.note_write(done.end)
+            return MoveResult(start=result.start, end=done.end,
+                              nbytes=nbytes, hops=result.hops)
+        return result
+
+    def move_down(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
+                  dst_offset: int = 0, src_offset: int = 0,
+                  label: str = "") -> MoveResult:
+        """``move_data_down``: parent -> child, asserting the direction."""
+        self._assert_adjacent(self.node_of(src), self.node_of(dst),
+                              expect_down=True)
+        return self.move(dst, src, nbytes, dst_offset=dst_offset,
+                         src_offset=src_offset, label=label)
+
+    def move_up(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
+                dst_offset: int = 0, src_offset: int = 0,
+                label: str = "") -> MoveResult:
+        """``move_data_up``: child -> parent, asserting the direction."""
+        self._assert_adjacent(self.node_of(dst), self.node_of(src),
+                              expect_down=True)
+        return self.move(dst, src, nbytes, dst_offset=dst_offset,
+                         src_offset=src_offset, label=label)
+
+    def _assert_adjacent(self, parent: TreeNode, child: TreeNode, *,
+                         expect_down: bool) -> None:
+        if child.parent is not parent:
+            direction = "move_down" if expect_down else "move_up"
+            raise TransferError(
+                f"{direction}: nodes {parent.node_id} and {child.node_id} "
+                f"are not a parent/child pair")
+
+    def _edge_path(self, src: TreeNode,
+                   dst: TreeNode) -> list[tuple[TreeNode, TreeNode]]:
+        """Consecutive (from, to) node pairs along the tree path."""
+        lca = self.tree.lowest_common_ancestor(src, dst)
+        up = []
+        cur = src
+        while cur is not lca:
+            up.append((cur, cur.parent))
+            cur = cur.parent
+        down_nodes = []
+        cur = dst
+        while cur is not lca:
+            down_nodes.append(cur)
+            cur = cur.parent
+        down = [(b.parent, b) for b in reversed(down_nodes)]
+        return up + down
+
+    def _charge_edge(self, src: TreeNode, dst: TreeNode, nbytes: int, *,
+                     ready: float, label: str) -> Completion:
+        """Charge one parent<->child hop on its physical resources."""
+        child = dst if dst.parent is src else src
+        direction = "down" if child is dst else "up"
+        link = child.uplink
+        assert link is not None, "validated trees always carry edge links"
+        bw = min(src.device.spec.read_bw, link.bandwidth,
+                 dst.device.spec.write_bw)
+        duration = (src.device.spec.latency + link.latency
+                    + dst.device.spec.latency + nbytes / bw)
+        phase = _transfer_phase(src.device.kind, dst.device.kind)
+        resources = [src.device.read_resource, link.resource_name(direction),
+                     dst.device.write_resource]
+        # A device's read and write side may be one physical channel; do
+        # not list the same resource twice for one operation.
+        deduped = list(dict.fromkeys(resources))
+        return self.timeline.charge_path(deduped, duration, phase,
+                                         ready=ready, label=label,
+                                         nbytes=nbytes)
+
+    # -- compute -----------------------------------------------------------
+
+    def launch(self, proc: Processor, cost: KernelCost, *,
+               reads: tuple[BufferHandle, ...] = (),
+               writes: tuple[BufferHandle, ...] = (),
+               fn=None, label: str = "",
+               extra_duration: float = 0.0) -> Completion:
+        """Launch a kernel on a processor (Section III-E).
+
+        ``fn`` performs the real computation (NumPy) immediately;
+        duration comes from the processor's roofline on ``cost``.  The
+        launch waits for its input buffers to be ready and for its output
+        buffers to be safe to overwrite.
+        """
+        node = self.processor_node(proc)
+        for h in (*reads, *writes):
+            self.registry.check_live(h)
+            if self.node_of(h) is not node:
+                raise TransferError(
+                    f"kernel on {proc.name!r} (node {node.node_id}) cannot "
+                    f"touch buffer #{h.buffer_id} on node {h.node_id}; move "
+                    f"the data first")
+        ready = 0.0
+        for h in reads:
+            ready = max(ready, h.ready_at)
+        for h in writes:
+            ready = max(ready, h.last_read_end, h.ready_at)
+        if fn is not None:
+            fn()
+        duration = proc.exec_time(cost) + extra_duration
+        done = self.timeline.charge(proc.resource, duration, proc.phase,
+                                    ready=ready, label=label or proc.name)
+        for h in reads:
+            h.note_read(done.end)
+        for h in writes:
+            h.note_write(done.end)
+        self.charge_runtime(1)
+        return done
+
+    # -- untimed host access -------------------------------------------------
+
+    def preload(self, handle: BufferHandle, arr: np.ndarray,
+                offset: int = 0) -> None:
+        """Write workload data into a buffer without charging time
+        (input preprocessing is excluded from measurement, Section V-B)."""
+        self.registry.check_live(handle)
+        arr = np.ascontiguousarray(arr)
+        if offset < 0 or offset + arr.nbytes > handle.nbytes:
+            raise TransferError(
+                f"preload of {arr.nbytes} bytes at offset {offset} "
+                f"overflows {handle!r}")
+        node = self.node_of(handle)
+        node.device.write(handle.alloc_id, handle.base_offset + offset, arr)
+
+    def fetch(self, handle: BufferHandle, dtype, shape=None,
+              offset: int = 0, count: int | None = None) -> np.ndarray:
+        """Read a buffer's contents as a typed array without charging
+        time (result verification)."""
+        self.registry.check_live(handle)
+        node = self.node_of(handle)
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            if shape is not None:
+                count = int(np.prod(shape)) * itemsize
+            else:
+                count = handle.nbytes - offset
+        if offset < 0 or offset + count > handle.nbytes:
+            raise TransferError(
+                f"fetch of {count} bytes at offset {offset} overflows "
+                f"{handle!r}")
+        raw = node.device.read(handle.alloc_id, handle.base_offset + offset,
+                               count)
+        arr = raw.view(dtype)
+        return arr.reshape(shape) if shape is not None else arr
+
+    # -- reporting -----------------------------------------------------------
+
+    def makespan(self) -> float:
+        """End-to-end virtual time of everything charged so far."""
+        return self.timeline.makespan()
+
+    def breakdown(self) -> Breakdown:
+        """Fold the trace into the per-category breakdown."""
+        return profile_trace(self.timeline.trace)
+
+    def reset_time(self) -> None:
+        """Clear the timeline between measured phases (buffers keep their
+        contents but dependency times restart at zero)."""
+        self.timeline.reset()
+        self.runtime_ops = 0
+        for h in self.registry.live_handles():
+            h.times.reset()
+
+    def close(self) -> None:
+        """Release every device backend (tree ownership)."""
+        self.tree.close()
+
+    def __enter__(self) -> "System":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

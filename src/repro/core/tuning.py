@@ -1,0 +1,100 @@
+"""Profiling-guided processor selection (paper Section III-E).
+
+"By profiling the execution of earlier scheduled chunks, the system can
+provide useful information to subsequent scheduling and task-processor
+mapping."  An :class:`AdaptiveDispatcher` does exactly that: the first
+few chunks of a run explore every candidate processor; afterwards each
+chunk is dispatched to the processor with the best observed throughput.
+Deterministic (exploration order is the registration order), so runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.processor import Processor
+from repro.errors import SchedulerError
+
+
+@dataclass
+class _ProcStats:
+    processor: Processor
+    launches: int = 0
+    work_done: float = 0.0
+    busy: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Observed work units per second (0 before any launch)."""
+        return self.work_done / self.busy if self.busy > 0 else 0.0
+
+
+@dataclass
+class AdaptiveDispatcher:
+    """Pick processors for successive chunks from observed throughput.
+
+    Parameters
+    ----------
+    processors:
+        Candidate processors (e.g. the CPU and GPU of an APU leaf).
+    explore:
+        Launches per processor before exploitation starts.
+    """
+
+    processors: list[Processor]
+    explore: int = 1
+    _stats: dict[str, _ProcStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise SchedulerError("dispatcher needs at least one processor")
+        if self.explore < 1:
+            raise SchedulerError(f"explore must be >= 1, got {self.explore}")
+        for p in self.processors:
+            if p.name in self._stats:
+                raise SchedulerError(f"duplicate processor {p.name!r}")
+            self._stats[p.name] = _ProcStats(processor=p)
+
+    def choose(self) -> Processor:
+        """The processor the next chunk should run on.
+
+        Unexplored processors first (registration order); then the one
+        with the highest observed rate, ties broken by order.
+        """
+        for p in self.processors:
+            if self._stats[p.name].launches < self.explore:
+                return p
+        return max(self.processors,
+                   key=lambda p: (self._stats[p.name].rate,
+                                  -self.processors.index(p)))
+
+    def record(self, proc: Processor, *, seconds: float,
+               work: float = 1.0) -> None:
+        """Feed back one chunk's measured execution."""
+        stats = self._stats.get(proc.name)
+        if stats is None:
+            raise SchedulerError(
+                f"processor {proc.name!r} is not managed by this dispatcher")
+        if seconds <= 0 or work <= 0:
+            raise SchedulerError("seconds and work must be positive")
+        stats.launches += 1
+        stats.busy += seconds
+        stats.work_done += work
+
+    def launches(self, proc: Processor) -> int:
+        """Chunks dispatched to ``proc`` so far."""
+        return self._stats[proc.name].launches
+
+    def observed_rate(self, proc: Processor) -> float:
+        """Measured throughput of ``proc`` (work units/second)."""
+        return self._stats[proc.name].rate
+
+    def report(self) -> str:
+        """Human-readable dispatch summary."""
+        lines = ["profiling-guided dispatch:"]
+        for p in self.processors:
+            s = self._stats[p.name]
+            lines.append(f"  {p.name}: {s.launches} launches, "
+                         f"rate {s.rate:.3g} work/s")
+        return "\n".join(lines)

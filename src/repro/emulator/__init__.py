@@ -1,0 +1,17 @@
+"""First-order storage projection (paper Section V-D).
+
+"To quantify the potential benefits of Northup with faster storage, we
+develop an emulator capable of performing a first-order projection by
+keeping track of read/writes issued by application I/Os and considering
+read/write bandwidths of the storage.  We also include the I/O time into
+the overall runtime (the other components being constant)."
+
+:mod:`repro.emulator.projection` implements exactly that: it folds an
+execution trace into an I/O profile (bytes and operation counts per
+direction) and replays it under candidate read/write bandwidths.
+"""
+
+from repro.emulator.projection import (IOProfile, Projection,
+                                       project, sweep)
+
+__all__ = ["IOProfile", "Projection", "project", "sweep"]

@@ -1,0 +1,203 @@
+"""Data backends: where buffer bytes actually live.
+
+The cost model (:mod:`repro.memory.device`) is the same for every backend;
+what differs is the physical home of the data:
+
+* :class:`MemBackend` keeps each buffer as a NumPy byte array in process
+  memory.  This is the default for simulated experiments.
+* :class:`FileBackend` keeps each buffer as a real file in a directory,
+  reading and writing through the OS like the paper's POSIX
+  ``read``/``write`` path (Listing 4).  Examples and integration tests use
+  it to run genuinely out-of-core.
+
+Both expose byte-addressed ``read``/``write`` on opaque integer ids, the
+Python analogue of the paper's ``void *`` interface (Table I): the caller
+never learns whether the id names an array, a file descriptor, or (in a
+real system) a ``cl_mem``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import AllocationError, TransferError
+
+
+def _as_bytes(data: np.ndarray | bytes | bytearray | memoryview) -> np.ndarray:
+    """View arbitrary buffer-like input as a 1-D uint8 array (no copy)."""
+    if isinstance(data, np.ndarray):
+        if not data.flags.c_contiguous:
+            data = np.ascontiguousarray(data)
+        return data.reshape(-1).view(np.uint8)
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+class DataBackend(ABC):
+    """Byte store keyed by opaque allocation ids."""
+
+    @abstractmethod
+    def create(self, alloc_id: int, nbytes: int) -> None:
+        """Materialise storage for ``alloc_id`` (zero-filled)."""
+
+    @abstractmethod
+    def destroy(self, alloc_id: int) -> None:
+        """Release the storage behind ``alloc_id``."""
+
+    @abstractmethod
+    def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
+        """Return ``nbytes`` bytes starting at ``offset`` as a uint8 array."""
+
+    @abstractmethod
+    def write(self, alloc_id: int, offset: int,
+              data: np.ndarray | bytes | bytearray | memoryview) -> None:
+        """Write ``data`` at ``offset``."""
+
+    @abstractmethod
+    def size_of(self, alloc_id: int) -> int:
+        """Size in bytes of the buffer behind ``alloc_id``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release every buffer and any external resources."""
+
+    # -- shared validation -------------------------------------------------
+
+    def _check_range(self, alloc_id: int, offset: int, nbytes: int,
+                     size: int) -> None:
+        if offset < 0 or nbytes < 0:
+            raise TransferError(
+                f"negative offset/size (offset={offset}, nbytes={nbytes})")
+        if offset + nbytes > size:
+            raise TransferError(
+                f"access [{offset}, {offset + nbytes}) out of bounds for "
+                f"buffer {alloc_id} of {size} bytes")
+
+
+class MemBackend(DataBackend):
+    """In-process byte arrays; the simulated-device backend."""
+
+    def __init__(self) -> None:
+        self._bufs: dict[int, np.ndarray] = {}
+
+    def create(self, alloc_id: int, nbytes: int) -> None:
+        if alloc_id in self._bufs:
+            raise AllocationError(f"backend already holds id {alloc_id}")
+        self._bufs[alloc_id] = np.zeros(nbytes, dtype=np.uint8)
+
+    def destroy(self, alloc_id: int) -> None:
+        if self._bufs.pop(alloc_id, None) is None:
+            raise AllocationError(f"backend has no buffer with id {alloc_id}")
+
+    def _buf(self, alloc_id: int) -> np.ndarray:
+        try:
+            return self._bufs[alloc_id]
+        except KeyError:
+            raise AllocationError(f"backend has no buffer with id {alloc_id}") from None
+
+    def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
+        buf = self._buf(alloc_id)
+        self._check_range(alloc_id, offset, nbytes, buf.size)
+        return buf[offset:offset + nbytes].copy()
+
+    def view(self, alloc_id: int) -> np.ndarray:
+        """Zero-copy view of the whole buffer.
+
+        Only :class:`MemBackend` offers views; compute kernels use them to
+        operate in place on leaf buffers, mirroring how a GPU kernel works
+        directly on device memory.
+        """
+        return self._buf(alloc_id)
+
+    def write(self, alloc_id: int, offset: int,
+              data: np.ndarray | bytes | bytearray | memoryview) -> None:
+        buf = self._buf(alloc_id)
+        raw = _as_bytes(data)
+        self._check_range(alloc_id, offset, raw.size, buf.size)
+        buf[offset:offset + raw.size] = raw
+
+    def size_of(self, alloc_id: int) -> int:
+        return self._buf(alloc_id).size
+
+    def close(self) -> None:
+        self._bufs.clear()
+
+
+class FileBackend(DataBackend):
+    """Real files on disk; the genuine out-of-core backend.
+
+    Each buffer is one file under ``root``.  Files are created sparse
+    (``truncate``), so allocating a large output buffer does not write
+    zeros.  ``fsync`` on write is optional and mirrors the paper's use of
+    ``O_SYNC`` for storage writes ("guarantee that the call is synchronous
+    when writing to the storage").
+    """
+
+    def __init__(self, root: str, *, sync_writes: bool = False) -> None:
+        self.root = root
+        self.sync_writes = sync_writes
+        os.makedirs(root, exist_ok=True)
+        self._paths: dict[int, str] = {}
+        self._sizes: dict[int, int] = {}
+
+    def _path(self, alloc_id: int) -> str:
+        try:
+            return self._paths[alloc_id]
+        except KeyError:
+            raise AllocationError(f"backend has no file for id {alloc_id}") from None
+
+    def create(self, alloc_id: int, nbytes: int) -> None:
+        if alloc_id in self._paths:
+            raise AllocationError(f"backend already holds id {alloc_id}")
+        path = os.path.join(self.root, f"buf_{alloc_id:08d}.bin")
+        with open(path, "wb") as fh:
+            fh.truncate(nbytes)
+        self._paths[alloc_id] = path
+        self._sizes[alloc_id] = nbytes
+
+    def destroy(self, alloc_id: int) -> None:
+        path = self._paths.pop(alloc_id, None)
+        if path is None:
+            raise AllocationError(f"backend has no file for id {alloc_id}")
+        self._sizes.pop(alloc_id, None)
+        try:
+            os.remove(path)
+        except FileNotFoundError:  # pragma: no cover - external interference
+            pass
+
+    def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
+        path = self._path(alloc_id)
+        self._check_range(alloc_id, offset, nbytes, self._sizes[alloc_id])
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            raw = fh.read(nbytes)
+        if len(raw) < nbytes:
+            # Sparse tail past EOF semantics: unwritten regions read as zero.
+            out = np.zeros(nbytes, dtype=np.uint8)
+            out[:len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+            return out
+        return np.frombuffer(raw, dtype=np.uint8).copy()
+
+    def write(self, alloc_id: int, offset: int,
+              data: np.ndarray | bytes | bytearray | memoryview) -> None:
+        path = self._path(alloc_id)
+        raw = _as_bytes(data)
+        self._check_range(alloc_id, offset, raw.size, self._sizes[alloc_id])
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            fh.write(raw.tobytes())
+            if self.sync_writes:
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def size_of(self, alloc_id: int) -> int:
+        self._path(alloc_id)
+        return self._sizes[alloc_id]
+
+    def close(self) -> None:
+        for alloc_id in list(self._paths):
+            self.destroy(alloc_id)
+        shutil.rmtree(self.root, ignore_errors=True)

@@ -1,0 +1,54 @@
+"""Named device catalog.
+
+One lookup point for every calibrated device spec, so topology specs can
+name devices with strings (``"ssd"``, ``"hdd"``, ``"dram"``, ...) and the
+bench configs can enumerate what exists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.memory.device import Device, DeviceSpec
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.dram import DDR3_DUAL_CHANNEL
+from repro.memory.gpumem import GPU_LOCAL_MEM, W9100_GDDR5
+from repro.memory.hbm import HBM_STACK
+from repro.memory.hdd import WD5000AAKX
+from repro.memory.nvm import NVM_BLOCK, NVM_DIMM
+from repro.memory.ssd import FAST_PCIE_SSD, HYPERX_PREDATOR
+
+SPECS: dict[str, DeviceSpec] = {
+    "hdd": WD5000AAKX,
+    "ssd": HYPERX_PREDATOR,
+    "ssd-fast": FAST_PCIE_SSD,
+    "nvm": NVM_BLOCK,
+    "nvm-dimm": NVM_DIMM,
+    "dram": DDR3_DUAL_CHANNEL,
+    "hbm": HBM_STACK,
+    "gpu-mem": W9100_GDDR5,
+    "gpu-local": GPU_LOCAL_MEM,
+}
+
+
+def spec(name: str) -> DeviceSpec:
+    """The calibrated spec registered under ``name``."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown device {name!r}; known devices: {sorted(SPECS)}"
+        ) from None
+
+
+def make_device(name: str, *, capacity: int | None = None,
+                instance: str = "",
+                backend: DataBackend | None = None) -> Device:
+    """Instantiate a catalog device, optionally overriding capacity."""
+    s = spec(name)
+    if capacity is not None:
+        s = s.scaled(capacity=capacity)
+    return Device(spec=s, backend=backend or MemBackend(), instance=instance)
+
+
+def names() -> list[str]:
+    return sorted(SPECS)

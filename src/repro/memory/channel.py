@@ -1,0 +1,94 @@
+"""Interconnect links between memory levels.
+
+Tree edges carry a :class:`Link`: the bus that data crosses when moving
+between the two nodes.  A transfer's effective bandwidth is the minimum
+of the source read bandwidth, the link bandwidth, and the destination
+write bandwidth -- the standard first-order model, and the one the
+paper's own Figure 9 emulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.memory.device import DeviceSpec
+from repro.memory.units import GB, MB
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point interconnect.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"pcie3x16"``.
+    bandwidth:
+        Peak payload bandwidth in bytes/second (both directions).
+    latency:
+        Per-transfer latency in seconds (DMA setup, command submission).
+    duplex:
+        Whether the two directions are independent (PCIe is; SATA and a
+        shared memory bus effectively are not for our purposes).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 0.0
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError(f"link {self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigError(f"link {self.name}: latency must be non-negative")
+
+    def resource_name(self, direction: str) -> str:
+        """Timeline resource for a transfer direction ('down' or 'up')."""
+        if self.duplex:
+            return f"{self.name}.{direction}"
+        return f"{self.name}.ch"
+
+
+# -- standard links ---------------------------------------------------------
+
+PCIE3_X16 = Link(name="pcie3x16", bandwidth=12 * GB, latency=10e-6)
+PCIE3_X4 = Link(name="pcie3x4", bandwidth=3.5 * GB, latency=10e-6)
+SATA3 = Link(name="sata3", bandwidth=550 * MB, latency=50e-6, duplex=False)
+MEMORY_BUS = Link(name="membus", bandwidth=20 * GB, latency=100e-9)
+ONCHIP = Link(name="onchip", bandwidth=500 * GB, latency=20e-9)
+
+
+def transfer_cost(nbytes: int, src: DeviceSpec, link: Link,
+                  dst: DeviceSpec) -> float:
+    """Seconds for ``nbytes`` to cross ``link`` from ``src`` to ``dst``.
+
+    The bottleneck bandwidth is ``min(src.read_bw, link.bandwidth,
+    dst.write_bw)``; latencies along the path add up.
+    """
+    if nbytes < 0:
+        raise ConfigError(f"negative transfer size {nbytes}")
+    bw = min(src.read_bw, link.bandwidth, dst.write_bw)
+    return src.latency + link.latency + dst.latency + nbytes / bw
+
+
+def default_link_for(src: DeviceSpec, dst: DeviceSpec) -> Link:
+    """A sensible link when a topology spec does not name one.
+
+    File storage attaches over PCIe (the paper's SSD) unless either side
+    is very slow (a SATA disk); host-memory pairs share the memory bus;
+    anything touching GPU device memory crosses PCIe x16; local memory is
+    on-chip.
+    """
+    kinds = {src.kind.value, dst.kind.value}
+    if "gpu_local" in kinds:
+        return ONCHIP
+    if "gpu_dev" in kinds:
+        return PCIE3_X16
+    if "file" in kinds:
+        file_spec = src if src.kind.value == "file" else dst
+        if max(file_spec.read_bw, file_spec.write_bw) <= 200 * MB:
+            return SATA3
+        return PCIE3_X4
+    return MEMORY_BUS

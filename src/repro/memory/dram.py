@@ -1,0 +1,36 @@
+"""Host DRAM model.
+
+The paper's APU platform uses dual-channel DDR3; ~20 GB/s of sustained
+bandwidth is the figure consistent with its Kaveri test systems.  Reads
+and writes go through independent controller queues (``duplex=True``).
+
+Two capacities matter in the evaluation (Section V-A): the full 16 GB
+used for in-memory baselines, and a 2 GB slice configured as the staging
+buffer for out-of-core runs.
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB
+
+DDR3_DUAL_CHANNEL = DeviceSpec(
+    name="dram-ddr3",
+    kind=StorageKind.MEM,
+    capacity=16 * GB,
+    read_bw=20 * GB,
+    write_bw=20 * GB,
+    latency=100e-9,
+    duplex=True,
+)
+
+STAGING_BUFFER_BYTES = 2 * GB
+
+
+def make_dram(*, capacity: int | None = None, instance: str = "",
+              backend: DataBackend | None = None) -> Device:
+    """A DDR3-class DRAM device (default 16 GB)."""
+    spec = (DDR3_DUAL_CHANNEL if capacity is None
+            else DDR3_DUAL_CHANNEL.scaled(capacity=capacity))
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)

@@ -1,0 +1,49 @@
+"""GPU memory models: device memory and per-CU local memory.
+
+The discrete-GPU configuration (Section V-C, Figure 8) adds a disjoint
+device-memory space: the FirePro W9100 carries 16 GB of GDDR5 at
+320 GB/s.  Per-compute-unit local memory (OpenCL ``local`` / CUDA
+``shared``) is 64 KiB per CU with scratchpad-class bandwidth; the paper's
+kernels block into it explicitly (16x16 tiles), and it appears as the
+innermost software-managed level when a topology models on-chip movement.
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB, KiB
+
+W9100_GDDR5 = DeviceSpec(
+    name="gpu-gddr5-w9100",
+    kind=StorageKind.GPU_DEVICE,
+    capacity=16 * GB,
+    read_bw=320 * GB,
+    write_bw=320 * GB,
+    latency=400e-9,
+    duplex=True,
+)
+
+GPU_LOCAL_MEM = DeviceSpec(
+    name="gpu-local",
+    kind=StorageKind.GPU_LOCAL,
+    capacity=64 * KiB,
+    read_bw=2000 * GB,
+    write_bw=2000 * GB,
+    latency=5e-9,
+    duplex=True,
+)
+
+
+def make_gpu_device_mem(*, capacity: int | None = None, instance: str = "",
+                        backend: DataBackend | None = None) -> Device:
+    """W9100-class GDDR5 device memory (default 16 GB, 320 GB/s)."""
+    spec = W9100_GDDR5 if capacity is None else W9100_GDDR5.scaled(capacity=capacity)
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)
+
+
+def make_gpu_local_mem(*, instance: str = "",
+                       backend: DataBackend | None = None) -> Device:
+    """One compute unit's 64 KiB scratchpad."""
+    return Device(spec=GPU_LOCAL_MEM, backend=backend or MemBackend(),
+                  instance=instance)

@@ -1,0 +1,32 @@
+"""Die-stacked DRAM (HBM) model.
+
+Die-stacked memory is one of the paper's motivating technologies
+(Section II): a small-capacity, high-bandwidth level that "fills the gap
+between SRAM and DRAM".  First-generation HBM stacks deliver on the
+order of 128 GB/s per stack with a few GB of capacity; we model a
+4 GB / 160 GB/s part, usable as an extra tree level between DRAM and the
+processors in extended topologies.
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB
+
+HBM_STACK = DeviceSpec(
+    name="hbm-stack",
+    kind=StorageKind.MEM,
+    capacity=4 * GB,
+    read_bw=160 * GB,
+    write_bw=160 * GB,
+    latency=60e-9,
+    duplex=True,
+)
+
+
+def make_hbm(*, capacity: int | None = None, instance: str = "",
+             backend: DataBackend | None = None) -> Device:
+    """A die-stacked DRAM device (default 4 GB, 160 GB/s)."""
+    spec = HBM_STACK if capacity is None else HBM_STACK.scaled(capacity=capacity)
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)

@@ -1,0 +1,42 @@
+"""SATA hard-disk model.
+
+Calibrated to the paper's Western Digital WD5000AAKX (Section V-A): a
+500 GB, 7200 rpm SATA drive.  Sustained sequential transfer is about
+125 MB/s in both directions with a single head, so reads and writes
+serialise (``duplex=False``); average access latency (seek + rotational)
+is ~12 ms, which is what punishes the variable-sized CSR-Adaptive shards
+relative to HotSpot's regular blocks (Section V-B).
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB, MB
+
+WD5000AAKX = DeviceSpec(
+    name="hdd-wd5000aakx",
+    kind=StorageKind.FILE,
+    capacity=500 * GB,
+    read_bw=125 * MB,
+    write_bw=125 * MB,
+    latency=12e-3,
+    duplex=False,
+)
+
+
+def make_hdd(*, capacity: int | None = None, instance: str = "",
+             backend: DataBackend | None = None) -> Device:
+    """A WD5000AAKX-class disk device.
+
+    Parameters
+    ----------
+    capacity:
+        Override the usable capacity (scaled-down experiments).
+    instance:
+        Instance name when a tree holds several identical devices.
+    backend:
+        Data backend; defaults to in-process memory (simulation).
+    """
+    spec = WD5000AAKX if capacity is None else WD5000AAKX.scaled(capacity=capacity)
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)

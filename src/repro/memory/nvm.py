@@ -1,0 +1,52 @@
+"""Non-volatile memory models.
+
+The paper motivates NVM in two configurations (Section II, "Application
+Portability"): exposed as fast block *storage*, or mapped into the
+physical address space as byte-addressable slow *memory*.  Both are
+provided; which one a topology uses is exactly the virtual-to-physical
+remapping flexibility the Northup tree is designed for (Section III-B).
+
+Numbers follow the 2019-era first-generation persistent-memory parts:
+block-mode NVM at ~2.5/2.0 GB/s behind the filesystem, and DIMM-mode NVM
+at ~6.8/2.3 GB/s with ~350 ns access latency.
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB
+
+NVM_BLOCK = DeviceSpec(
+    name="nvm-block",
+    kind=StorageKind.FILE,
+    capacity=750 * GB,
+    read_bw=2.5 * GB,
+    write_bw=2.0 * GB,
+    latency=10e-6,
+    duplex=False,
+)
+
+NVM_DIMM = DeviceSpec(
+    name="nvm-dimm",
+    kind=StorageKind.MEM,
+    capacity=512 * GB,
+    read_bw=6.8 * GB,
+    write_bw=2.3 * GB,
+    latency=350e-9,
+    duplex=True,
+)
+
+
+def make_nvm(*, mode: str = "block", capacity: int | None = None,
+             instance: str = "", backend: DataBackend | None = None) -> Device:
+    """An NVM device in ``"block"`` (storage) or ``"dimm"`` (memory) mode."""
+    if mode == "block":
+        spec = NVM_BLOCK
+    elif mode == "dimm":
+        spec = NVM_DIMM
+    else:
+        raise ValueError(f"unknown NVM mode {mode!r}; expected 'block' or 'dimm'")
+    if capacity is not None:
+        spec = spec.scaled(capacity=capacity)
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)

@@ -1,0 +1,53 @@
+"""PCIe SSD models.
+
+The paper's storage device is an entry-level HyperX Predator PCIe SSD
+with up to 1400 MB/s read and 600 MB/s write (Section V-A); Figure 9
+projects performance for faster parts up to 3500/2100 MB/s, "some of the
+fastest PCI-E SSDs on the market" in 2019.  Both points are provided
+here, plus a parametric constructor for the sweep.
+
+Reads and writes are modelled as sharing one channel (``duplex=False``):
+the paper opens files with ``O_DIRECT | O_SYNC``, so storage writes are
+synchronous and contend with the read stream.
+"""
+
+from __future__ import annotations
+
+from repro.memory.backends import DataBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import GB, MB
+
+HYPERX_PREDATOR = DeviceSpec(
+    name="ssd-hyperx-predator",
+    kind=StorageKind.FILE,
+    capacity=480 * GB,
+    read_bw=1400 * MB,
+    write_bw=600 * MB,
+    latency=80e-6,
+    duplex=False,
+)
+
+FAST_PCIE_SSD = DeviceSpec(
+    name="ssd-fast-pcie",
+    kind=StorageKind.FILE,
+    capacity=960 * GB,
+    read_bw=3500 * MB,
+    write_bw=2100 * MB,
+    latency=60e-6,
+    duplex=False,
+)
+
+
+def make_ssd(*, capacity: int | None = None, instance: str = "",
+             backend: DataBackend | None = None,
+             read_bw: float | None = None,
+             write_bw: float | None = None) -> Device:
+    """A HyperX-Predator-class SSD, optionally with overridden bandwidths.
+
+    ``read_bw``/``write_bw`` overrides (bytes/second) serve the Figure 9
+    storage-bandwidth sweep.
+    """
+    spec = HYPERX_PREDATOR.scaled(
+        capacity=capacity if capacity is not None else HYPERX_PREDATOR.capacity,
+        read_bw=read_bw, write_bw=write_bw)
+    return Device(spec=spec, backend=backend or MemBackend(), instance=instance)

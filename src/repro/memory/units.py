@@ -1,0 +1,75 @@
+"""Byte and bandwidth unit helpers.
+
+Storage vendors quote decimal units (1 MB = 10**6 bytes); the paper's
+device numbers (e.g. "1400/600 MB/s") follow that convention, so decimal
+constants are the default throughout the reproduction.  Binary constants
+are provided for capacity math where powers of two are natural (GPU local
+memory sizes, cache sizes).
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+
+_DECIMAL = {"k": KB, "m": MB, "g": GB, "t": TB}
+_BINARY = {"k": KiB, "m": MiB, "g": GiB, "t": TiB}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size like ``"2GB"``, ``"512MiB"``, ``"64k"``.
+
+    Bare numbers are bytes.  Decimal suffixes (``KB``/``MB``/``GB``/``TB``
+    or single letters) use powers of ten; ``iB`` suffixes use powers of
+    two.  Case-insensitive.
+    """
+    s = text.strip().lower().replace(" ", "")
+    if not s:
+        raise ValueError("empty size string")
+    mult = 1
+    if s.endswith("ib") and len(s) > 2 and s[-3] in _BINARY:
+        mult = _BINARY[s[-3]]
+        s = s[:-3]
+    elif s.endswith("b") and len(s) > 1 and s[-2] in _DECIMAL:
+        mult = _DECIMAL[s[-2]]
+        s = s[:-2]
+    elif s[-1] in _DECIMAL and not s[-1].isdigit():
+        mult = _DECIMAL[s[-1]]
+        s = s[:-1]
+    elif s.endswith("b"):
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError as exc:
+        raise ValueError(f"unparseable size {text!r}") from exc
+    if value < 0:
+        raise ValueError(f"negative size {text!r}")
+    return int(round(value * mult))
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count with a decimal suffix (``1536000 -> '1.54 MB'``)."""
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for unit, width in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= width:
+            return f"{n / width:.2f} {unit}"
+    return f"{n} B"
+
+
+def fmt_bandwidth(bytes_per_s: float) -> str:
+    """Format a bandwidth (``1.4e9 -> '1400.0 MB/s'``).
+
+    Storage-class rates stay in MB/s (the paper's convention for SSDs);
+    memory-class rates (>= 10 GB/s) switch to GB/s.
+    """
+    if bytes_per_s >= 10 * GB:
+        return f"{bytes_per_s / GB:.1f} GB/s"
+    return f"{bytes_per_s / MB:.1f} MB/s"

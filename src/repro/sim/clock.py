@@ -1,0 +1,59 @@
+"""A monotonic virtual clock.
+
+All durations in the simulation are expressed in seconds of virtual time.
+The clock never observes wall time; experiments are therefore exactly
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic virtual time source.
+
+    The clock starts at ``0.0`` and can only move forward.  It is shared
+    by the :class:`~repro.sim.timeline.Timeline` and the event engine so
+    that structured (timeline) and dynamic (event-driven) portions of an
+    experiment agree on "now".
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises
+        ------
+        SimulationError
+            If ``t`` is earlier than the current time or not finite.
+        """
+        if not (t == t) or t in (float("inf"), float("-inf")):
+            raise SimulationError(f"cannot advance clock to non-finite time {t!r}")
+        if t < self._now:
+            raise SimulationError(
+                f"virtual time cannot move backwards: now={self._now}, requested={t}"
+            )
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative delta {dt}")
+        self.advance_to(self._now + dt)
+
+    def reset(self) -> None:
+        """Rewind to time zero.  Only meaningful between experiments."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,104 @@
+"""Event-driven simulator core.
+
+The structured experiments use :mod:`repro.sim.timeline`; this module
+serves dynamic models, where what happens next depends on simulated
+state.  It is a classic calendar-queue design:
+callbacks are scheduled at absolute virtual times and executed in time
+order, with insertion order breaking ties so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class SimEngine:
+    """Deterministic discrete-event loop.
+
+    Example
+    -------
+    >>> eng = SimEngine()
+    >>> seen = []
+    >>> eng.schedule(2.0, lambda: seen.append("b"))
+    >>> eng.schedule(1.0, lambda: seen.append("a"))
+    >>> eng.run()
+    >>> seen
+    ['a', 'b']
+    >>> eng.now
+    2.0
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, now is {self.clock.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when none remain."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self.clock.advance_to(time)
+        callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> int:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would occur after this time (the
+            event stays queued).  ``None`` runs to exhaustion.
+        max_events:
+            Safety valve against runaway feedback loops.
+
+        Returns the number of events executed.
+        """
+        if self._running:
+            raise SimulationError("SimEngine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {executed} events; "
+                        "likely a feedback loop in the model"
+                    )
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

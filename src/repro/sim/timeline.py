@@ -1,0 +1,229 @@
+"""Resource timelines: the structured half of the simulator.
+
+A :class:`Resource` models one serially-occupied hardware unit -- a
+storage device's read channel, the GPU's compute engine, a PCIe link.
+Charging an operation places it at the earliest instant at which (a) the
+resource has an idle gap long enough and (b) the operation's
+dependencies (``ready``) have completed.
+
+Scheduling is **backfill**: an operation charged later in program order
+may slot into an earlier idle gap when its dependencies allow.  This is
+how real I/O stacks behave (queued requests are reordered; the paper's
+per-level task queues exist to schedule chunk movements "whenever the
+space of lower memory levels is freed"), and it is what lets a prefetch
+load overlap the previous chunk's kernel even though the program issues
+the operations sequentially.  Causality is preserved by the dependency
+times threaded through buffer handles, not by issue order.
+
+This is a "task graph over timelines" formulation rather than a
+process-based discrete-event simulation; it is deterministic and
+sufficient for every structured experiment (Figures 6-9).  The dynamic
+work-stealing study (Figure 11) uses list scheduling over work queues
+(:mod:`repro.core.stealing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.trace import Interval, Phase, Trace
+
+#: Gaps shorter than this are not worth modelling (scheduling epsilon).
+_EPS = 1e-12
+
+
+class _Slot:
+    """One serially-occupied lane: a sorted list of busy intervals."""
+
+    __slots__ = ("busy",)
+
+    def __init__(self) -> None:
+        self.busy: list[tuple[float, float]] = []
+
+    def earliest_gap(self, ready: float, duration: float) -> float:
+        """Earliest start >= ready with ``duration`` of idle time."""
+        candidate = ready
+        for start, end in self.busy:
+            if candidate + duration <= start + _EPS:
+                return candidate
+            if end > candidate:
+                candidate = end
+        return candidate
+
+    def occupy(self, start: float, duration: float) -> None:
+        """Insert ``[start, start + duration)``; the caller must have
+        obtained ``start`` from :meth:`earliest_gap`."""
+        end = start + duration
+        lo, hi = 0, len(self.busy)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.busy[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo > 0 and self.busy[lo - 1][1] > start + _EPS:
+            raise SimulationError("slot overlap: gap search bypassed")
+        if lo < len(self.busy) and end > self.busy[lo][0] + _EPS:
+            raise SimulationError("slot overlap: gap search bypassed")
+        self.busy.insert(lo, (start, end))
+
+    @property
+    def free_at(self) -> float:
+        return self.busy[-1][1] if self.busy else 0.0
+
+
+class Resource:
+    """A virtual resource with one or more identical slots.
+
+    Parameters
+    ----------
+    name:
+        Unique human-readable identifier; appears in trace intervals.
+    slots:
+        Operations the resource can run concurrently.  Most resources
+        are ``slots=1``; a multi-queue device may use more.
+    """
+
+    __slots__ = ("name", "slots", "_slots")
+
+    def __init__(self, name: str, slots: int = 1) -> None:
+        if slots < 1:
+            raise SimulationError(f"resource {name!r} needs >= 1 slot, got {slots}")
+        self.name = name
+        self.slots = slots
+        self._slots = [_Slot() for _ in range(slots)]
+
+    def earliest_start(self, ready: float, duration: float = 0.0) -> float:
+        """Earliest time an operation ready at ``ready`` could begin."""
+        return min(s.earliest_gap(ready, duration) for s in self._slots)
+
+    def reserve(self, ready: float, duration: float) -> float:
+        """Book the earliest feasible interval; returns its start."""
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration} on {self.name!r}")
+        best_slot = min(self._slots,
+                        key=lambda s: s.earliest_gap(ready, duration))
+        start = best_slot.earliest_gap(ready, duration)
+        best_slot.occupy(start, duration)
+        return start
+
+    def occupy_at(self, start: float, duration: float) -> None:
+        """Book a specific interval (used by multi-resource operations
+        after a common start has been negotiated)."""
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration} on {self.name!r}")
+        for slot in self._slots:
+            if slot.earliest_gap(start, duration) <= start + _EPS:
+                slot.occupy(start, duration)
+                return
+        raise SimulationError(
+            f"resource {self.name!r} has no free slot at t={start}")
+
+    @property
+    def free_at(self) -> float:
+        """Time at which at least one slot has no further bookings."""
+        return min(s.free_at for s in self._slots)
+
+    def reset(self) -> None:
+        self._slots = [_Slot() for _ in range(self.slots)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, slots={self.slots}, free_at={self.free_at})"
+
+
+@dataclass
+class Completion:
+    """Result of charging an operation: its virtual start/end times."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Registry of resources plus the shared trace.
+
+    The timeline is the single object the Northup runtime talks to when
+    charging costs.  It owns the trace so that breakdown reporting sees
+    every interval from every resource.
+    """
+
+    trace: Trace = field(default_factory=Trace)
+    _resources: dict[str, Resource] = field(default_factory=dict)
+
+    def resource(self, name: str, slots: int = 1) -> Resource:
+        """Fetch (creating on first use) the resource called ``name``."""
+        res = self._resources.get(name)
+        if res is None:
+            res = Resource(name, slots)
+            self._resources[name] = res
+        return res
+
+    def has_resource(self, name: str) -> bool:
+        return name in self._resources
+
+    def charge(self, resource: str | Resource, duration: float,
+               phase: Phase, *, ready: float = 0.0, label: str = "",
+               nbytes: int = 0) -> Completion:
+        """Charge ``duration`` seconds on ``resource``.
+
+        The operation begins at the earliest feasible instant at or
+        after ``ready`` (its dependency time); the interval is recorded
+        in the trace.  Returns the :class:`Completion` so callers can
+        thread dependency times through a pipeline.
+        """
+        res = resource if isinstance(resource, Resource) else self.resource(resource)
+        start = res.reserve(ready, duration)
+        end = start + duration
+        self.trace.record(Interval(start=start, end=end, phase=phase,
+                                   resource=res.name, label=label,
+                                   nbytes=nbytes))
+        return Completion(start=start, end=end)
+
+    def charge_path(self, resources: list[str | Resource], duration: float,
+                    phase: Phase, *, ready: float = 0.0, label: str = "",
+                    nbytes: int = 0) -> Completion:
+        """Charge one operation that occupies several resources at once.
+
+        Used for transfers that hold both endpoints (e.g. a DMA from the
+        SSD into DRAM holds the SSD read channel and the memory bus).
+        The start time is negotiated so every resource has a free slot
+        for the full duration.
+        """
+        resolved = [r if isinstance(r, Resource) else self.resource(r)
+                    for r in resources]
+        if not resolved:
+            raise SimulationError("charge_path needs at least one resource")
+        start = ready
+        # Fixpoint: each pass pushes start forward until every resource
+        # can host [start, start + duration).
+        for _ in range(1000):
+            proposed = start
+            for res in resolved:
+                proposed = max(proposed, res.earliest_start(proposed, duration))
+            if proposed <= start + _EPS:
+                break
+            start = proposed
+        else:  # pragma: no cover - pathological fragmentation
+            raise SimulationError("charge_path failed to converge")
+        for res in resolved:
+            res.occupy_at(start, duration)
+        end = start + duration
+        self.trace.record(Interval(start=start, end=end, phase=phase,
+                                   resource="+".join(r.name for r in resolved),
+                                   label=label, nbytes=nbytes))
+        return Completion(start=start, end=end)
+
+    def makespan(self) -> float:
+        return self.trace.makespan()
+
+    def reset(self) -> None:
+        """Clear the trace and free every resource (between experiments)."""
+        self.trace.clear()
+        for res in self._resources.values():
+            res.reset()

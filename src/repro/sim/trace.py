@@ -1,0 +1,150 @@
+"""Typed execution traces.
+
+Every timed operation in the framework records an :class:`Interval` tagged
+with a :class:`Phase`.  The profiler (:mod:`repro.core.profiler`) folds a
+trace into the per-category breakdowns reported in Figures 7 and 8 of the
+paper (CPU compute, GPU compute, buffer setup, transfers and I/O).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Phase(enum.Enum):
+    """Execution-time category of a traced interval.
+
+    The categories mirror the paper's breakdown plots: CPU and GPU
+    execution, buffer setup, and data transfers split into file I/O
+    (storage <-> host memory) and device transfers (host <-> accelerator,
+    the paper's "OpenCL transfers").  ``RUNTIME`` accounts the framework's
+    own bookkeeping (tree lookups, task control), which Section V-B
+    reports to be under 1% of total execution time.
+    """
+
+    CPU_COMPUTE = "cpu_compute"
+    GPU_COMPUTE = "gpu_compute"
+    SETUP = "setup"
+    IO_READ = "io_read"
+    IO_WRITE = "io_write"
+    DEV_TRANSFER = "dev_transfer"
+    MEM_COPY = "mem_copy"
+    RUNTIME = "runtime"
+
+    @property
+    def is_io(self) -> bool:
+        return self in (Phase.IO_READ, Phase.IO_WRITE)
+
+    @property
+    def is_transfer(self) -> bool:
+        return self in (Phase.IO_READ, Phase.IO_WRITE,
+                        Phase.DEV_TRANSFER, Phase.MEM_COPY)
+
+    @property
+    def is_compute(self) -> bool:
+        return self in (Phase.CPU_COMPUTE, Phase.GPU_COMPUTE)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One timed operation.
+
+    Attributes
+    ----------
+    start, end:
+        Virtual-time endpoints in seconds (``end >= start``).
+    phase:
+        Category of the operation.
+    resource:
+        Name of the hardware resource the operation occupied.
+    label:
+        Free-form annotation (kernel name, buffer id, ...).
+    nbytes:
+        Bytes moved, for transfer phases (0 for compute).
+    """
+
+    start: float
+    end: float
+    phase: Phase
+    resource: str
+    label: str = ""
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share a positive-length span."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Trace:
+    """Append-only list of intervals with aggregation helpers."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(self, interval: Interval) -> None:
+        if interval.end < interval.start:
+            raise ValueError(
+                f"interval ends before it starts: {interval}"
+            )
+        self.intervals.append(interval)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    # -- aggregation ----------------------------------------------------
+
+    def busy_time(self, phase: Phase | None = None,
+                  resource: str | None = None) -> float:
+        """Total duration of matching intervals (double-counting overlap).
+
+        Busy time is the quantity behind the paper's stacked breakdown
+        bars: it answers "how long was each category active", regardless
+        of whether activities overlapped in wall-clock terms.
+        """
+        total = 0.0
+        for iv in self.intervals:
+            if phase is not None and iv.phase is not phase:
+                continue
+            if resource is not None and iv.resource != resource:
+                continue
+            total += iv.duration
+        return total
+
+    def by_phase(self) -> dict[Phase, float]:
+        """Busy time per phase for every phase present in the trace."""
+        out: dict[Phase, float] = {}
+        for iv in self.intervals:
+            out[iv.phase] = out.get(iv.phase, 0.0) + iv.duration
+        return out
+
+    def bytes_moved(self, phase: Phase | None = None) -> int:
+        """Total bytes moved by matching transfer intervals."""
+        return sum(iv.nbytes for iv in self.intervals
+                   if phase is None or iv.phase is phase)
+
+    def makespan(self) -> float:
+        """End of the last interval (0.0 for an empty trace)."""
+        if not self.intervals:
+            return 0.0
+        return max(iv.end for iv in self.intervals)
+
+    def filter(self, phases: Iterable[Phase]) -> "Trace":
+        """A new trace containing only intervals in ``phases``."""
+        wanted = set(phases)
+        return Trace([iv for iv in self.intervals if iv.phase in wanted])
+
+    def extend(self, other: "Trace") -> None:
+        """Append every interval of ``other`` (used to merge sub-traces)."""
+        self.intervals.extend(other.intervals)
+
+    def clear(self) -> None:
+        self.intervals.clear()

@@ -1,0 +1,135 @@
+"""Describe machines and devices from the command line.
+
+Examples::
+
+    python -m repro.tools.describe --list
+    python -m repro.tools.describe --topology apu
+    python -m repro.tools.describe --topology figure2
+    python -m repro.tools.describe --devices
+    python -m repro.tools.describe --processors
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.compute import registry
+from repro.errors import NorthupError
+from repro.memory import catalog
+from repro.topology import builders
+from repro.topology.spec import build_from_spec
+
+TOPOLOGIES = {
+    "apu": ("the paper's 2-level APU system (storage -> DRAM staging)",
+            builders.apu_two_level),
+    "dgpu": ("the 3-level discrete-GPU system (storage -> DRAM -> GDDR5)",
+             builders.discrete_gpu_three_level),
+    "in-memory": ("the single-level in-memory baseline",
+                  builders.in_memory_single_level),
+    "figure2": ("the asymmetric sample tree of Figure 2",
+                builders.figure2_asymmetric),
+    "exascale": ("a future node: NVM -> DRAM -> HBM -> accelerator",
+                 builders.exascale_node),
+    "dual-branch": ("two staging branches with one GPU each",
+                    builders.dual_branch_apu),
+    "cluster": ("two compute nodes behind a shared parallel filesystem",
+                builders.two_node_cluster),
+}
+
+
+def _print_topology(name: str) -> int:
+    if name not in TOPOLOGIES:
+        print(f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}",
+              file=sys.stderr)
+        return 2
+    description, factory = TOPOLOGIES[name]
+    tree = factory()
+    try:
+        print(f"{name}: {description}")
+        print(tree.render())
+        print(f"levels: {tree.get_max_treelevel() + 1}, "
+              f"nodes: {len(tree)}, leaves: {len(tree.leaves())}, "
+              f"processors: {len(tree.processors())}")
+    finally:
+        tree.close()
+    return 0
+
+
+def _print_spec(path: str) -> int:
+    """Render a machine described by a JSON topology spec file."""
+    try:
+        with open(path) as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"{path!r} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        tree = build_from_spec(spec)
+    except NorthupError as exc:
+        print(f"invalid topology spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(f"machine from {path}:")
+        print(tree.render())
+        print(f"levels: {tree.get_max_treelevel() + 1}, nodes: {len(tree)}")
+    finally:
+        tree.close()
+    return 0
+
+
+def _print_devices() -> int:
+    print("device catalog (calibrated to the paper's Section V-A parts):")
+    for name in catalog.names():
+        print(f"  {name:<10} {catalog.spec(name).describe()}")
+    return 0
+
+
+def _print_processors() -> int:
+    print("processor registry:")
+    for name in registry.names():
+        p = registry.make_processor(name)
+        print(f"  {name:<10} {p.kind.value}, {p.peak_gflops:.0f} GFLOP/s, "
+              f"{p.mem_bw / 1e9:.0f} GB/s attached memory")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.describe",
+        description="Render Northup topologies and hardware catalogs.")
+    parser.add_argument("--topology", metavar="NAME",
+                        help=f"render one of {sorted(TOPOLOGIES)}")
+    parser.add_argument("--spec", metavar="FILE.json",
+                        help="render a machine from a JSON topology spec")
+    parser.add_argument("--list", action="store_true",
+                        help="list available topologies")
+    parser.add_argument("--devices", action="store_true",
+                        help="print the device catalog")
+    parser.add_argument("--processors", action="store_true",
+                        help="print the processor registry")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (description, _f) in sorted(TOPOLOGIES.items()):
+            print(f"{name:<12} {description}")
+        return 0
+    if args.topology:
+        return _print_topology(args.topology)
+    if args.spec:
+        return _print_spec(args.spec)
+    if args.devices:
+        return _print_devices()
+    if args.processors:
+        return _print_processors()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Regenerate the paper's evaluation in one command.
+
+Runs every figure runner at the calibrated scale (or a reduced ``--quick``
+scale), prints the paper-style tables, and optionally writes them to a
+directory::
+
+    python -m repro.tools.evaluate            # full (a few seconds)
+    python -m repro.tools.evaluate --quick
+    python -m repro.tools.evaluate --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench import configs
+from repro.bench.figures import (figure6, figure7, figure8, figure9,
+                                 figure11, runtime_overhead)
+from repro.bench.future import (format_generations, format_spmv_structures,
+                                spmv_input_structures, storage_generations)
+from repro.bench.reporting import (format_breakdown, format_fig6,
+                                   format_fig9, format_fig11,
+                                   format_overhead)
+
+QUICK_SCALE = configs.WorkloadScale(
+    gemm_n=256, hotspot_n=256, hotspot_iterations=4, hotspot_steps_per_pass=4,
+    spmv_rows=8000, seed=2019)
+
+
+def run_all(scale: configs.WorkloadScale) -> dict[str, str]:
+    """Every experiment, as named formatted tables."""
+    return {
+        "fig6": format_fig6(figure6(scale)),
+        "fig7": format_breakdown(figure7(scale),
+                                 "Figure 7: breakdown, APU tree"),
+        "fig8": format_breakdown(figure8(scale),
+                                 "Figure 8: breakdown, discrete-GPU tree"),
+        "fig9": format_fig9(figure9(scale)),
+        "fig11": format_fig11(figure11()),
+        "overhead": format_overhead(runtime_overhead(scale)),
+        "storage_generations": format_generations(storage_generations(scale)),
+        "spmv_structures": format_spmv_structures(
+            spmv_input_structures(scale)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.evaluate",
+        description="Regenerate every table/figure of the Northup paper.")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload scale (fast smoke run)")
+    parser.add_argument("--out", metavar="DIR",
+                        help="also write each table to DIR/<name>.txt")
+    parser.add_argument("--only", metavar="NAME",
+                        help="run a single experiment (fig6, fig7, fig8, "
+                             "fig9, fig11, overhead, storage_generations, "
+                             "spmv_structures)")
+    args = parser.parse_args(argv)
+
+    scale = QUICK_SCALE if args.quick else configs.DEFAULT_SCALE
+    start = time.time()
+    tables = run_all(scale)
+    if args.only:
+        if args.only not in tables:
+            print(f"unknown experiment {args.only!r}; "
+                  f"known: {sorted(tables)}", file=sys.stderr)
+            return 2
+        tables = {args.only: tables[args.only]}
+
+    for name, text in tables.items():
+        print(f"\n===== {name} =====")
+        print(text)
+    print(f"\n({len(tables)} experiments in {time.time() - start:.1f}s, "
+          f"scale: {'quick' if args.quick else 'paper-calibrated'})")
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, text in tables.items():
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as fh:
+                fh.write(text + "\n")
+        print(f"tables written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""ASCII Gantt charts for execution traces.
+
+A terminal-friendly complement to the Chrome-trace export: one row per
+virtual resource, time flowing rightward, a phase-coded character per
+busy bucket.  Useful in examples and while debugging pipelining --
+overlap (or its absence) is visible at a glance.
+
+::
+
+    ssd.ch     RRRRRRRR··WW····RRRRRR··WW········
+    gpu-apu    ········GGGGGGGG········GGGGGGGG··
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Phase, Trace
+
+#: One character per phase (majority vote per bucket).
+PHASE_CHARS = {
+    Phase.IO_READ: "R",
+    Phase.IO_WRITE: "W",
+    Phase.DEV_TRANSFER: "T",
+    Phase.MEM_COPY: "M",
+    Phase.GPU_COMPUTE: "G",
+    Phase.CPU_COMPUTE: "C",
+    Phase.SETUP: "s",
+    Phase.RUNTIME: "r",
+}
+
+IDLE = "·"  # middle dot
+
+
+def render(trace: Trace, *, width: int = 72,
+           resources: list[str] | None = None,
+           include_host: bool = False) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    width:
+        Characters along the time axis.
+    resources:
+        Restrict to these resource names (default: every resource seen,
+        in first-appearance order).  Composite ``a+b`` intervals from
+        multi-resource operations are attributed to each component.
+    include_host:
+        Whether to show the ``host`` bookkeeping row (off by default:
+        setup/runtime slivers are rarely what you are looking for).
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    span = trace.makespan()
+    if span <= 0 or not len(trace):
+        return "(empty trace)"
+
+    rows: dict[str, list[dict[Phase, float]]] = {}
+    order: list[str] = []
+
+    def row(name: str) -> list[dict[Phase, float]]:
+        if name not in rows:
+            rows[name] = [dict() for _ in range(width)]
+            order.append(name)
+        return rows[name]
+
+    bucket = span / width
+    for iv in trace:
+        for name in iv.resource.split("+"):
+            if name == "host" and not include_host:
+                continue
+            if resources is not None and name not in resources:
+                continue
+            cells = row(name)
+            first = min(width - 1, int(iv.start / bucket))
+            last = min(width - 1, int(max(iv.start, iv.end - 1e-15) / bucket))
+            for b in range(first, last + 1):
+                # Weight by overlap with the bucket for the majority vote.
+                lo = max(iv.start, b * bucket)
+                hi = min(iv.end, (b + 1) * bucket)
+                if hi > lo:
+                    cells[b][iv.phase] = cells[b].get(iv.phase, 0.0) + (hi - lo)
+
+    if not order:
+        return "(no matching resources)"
+    label_w = max(len(n) for n in order) + 2
+    lines = []
+    for name in order:
+        chars = []
+        for cell in rows[name]:
+            if not cell:
+                chars.append(IDLE)
+            else:
+                phase = max(cell.items(), key=lambda kv: kv[1])[0]
+                chars.append(PHASE_CHARS.get(phase, "?"))
+        lines.append(name.ljust(label_w) + "".join(chars))
+    legend = "  ".join(f"{c}={p.value}" for p, c in PHASE_CHARS.items())
+    lines.append("")
+    lines.append(f"time: 0 .. {span * 1e3:.3f} ms   {legend}")
+    return "\n".join(lines)

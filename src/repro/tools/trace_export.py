@@ -1,0 +1,76 @@
+"""Export execution traces to the Chrome Trace Event format.
+
+Any run's timeline can be inspected visually: load the exported JSON in
+``chrome://tracing`` (or https://ui.perfetto.dev).  Each virtual
+resource becomes a track; each interval becomes a complete event with
+its phase, label, and byte count attached.
+
+.. code-block:: python
+
+    from repro.tools.trace_export import to_chrome_trace, write_chrome_trace
+
+    app.run(system)
+    write_chrome_trace(system.timeline.trace, "run.json")
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.trace import Phase, Trace
+
+#: Stable track ordering: storage first, then links, then processors.
+_PHASE_COLORS = {
+    Phase.GPU_COMPUTE: "good",
+    Phase.CPU_COMPUTE: "vsync_highlight_color",
+    Phase.IO_READ: "bad",
+    Phase.IO_WRITE: "terrible",
+    Phase.DEV_TRANSFER: "yellow",
+    Phase.MEM_COPY: "olive",
+    Phase.SETUP: "grey",
+    Phase.RUNTIME: "white",
+}
+
+
+def to_chrome_trace(trace: Trace, *, time_unit: float = 1e6) -> list[dict]:
+    """Convert a trace to a list of Chrome Trace Event dicts.
+
+    ``time_unit`` scales virtual seconds to the format's microseconds
+    (the default treats one virtual second as one displayed second).
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+    for iv in trace:
+        tid = tids.setdefault(iv.resource, len(tids) + 1)
+        event = {
+            "name": iv.label or iv.phase.value,
+            "cat": iv.phase.value,
+            "ph": "X",                       # complete event
+            "ts": iv.start * time_unit,
+            "dur": iv.duration * time_unit,
+            "pid": 1,
+            "tid": tid,
+            "args": {"resource": iv.resource, "phase": iv.phase.value},
+        }
+        if iv.nbytes:
+            event["args"]["bytes"] = iv.nbytes
+        color = _PHASE_COLORS.get(iv.phase)
+        if color is not None:
+            event["cname"] = color
+        events.append(event)
+    # Thread-name metadata so tracks are labelled by resource.
+    for resource, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": resource},
+        })
+    return events
+
+
+def write_chrome_trace(trace: Trace, path: str, *,
+                       time_unit: float = 1e6) -> int:
+    """Write ``trace`` as Chrome Trace Event JSON; returns event count."""
+    events = to_chrome_trace(trace, time_unit=time_unit)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

@@ -1,0 +1,34 @@
+"""The Northup topological tree (paper Section III-B, Figure 2).
+
+The whole machine is abstracted as an asymmetric, heterogeneous tree:
+circles (memory/storage nodes) on the inside, rectangles (processors)
+attached at -- usually -- the leaves.  Levels number from the slowest
+storage (root, level 0) toward faster memories; the leaf level is the
+transition point from software- to hardware-managed memory.
+
+* :mod:`repro.topology.node` -- ``TreeNode`` carrying the paper's
+  ``memory_t``/``processor_t`` information (Listing 1).
+* :mod:`repro.topology.tree` -- :class:`TopologyTree` plus the query API
+  (``fetch_node_type``, ``get_parent``, ``get_children_list``,
+  ``get_level``, ``get_max_treelevel``, ...).
+* :mod:`repro.topology.spec` -- declarative construction from nested
+  dicts (what "maintained by system software" looks like in Python).
+* :mod:`repro.topology.builders` -- the paper's concrete systems: the
+  2-level APU configuration, the 3-level discrete-GPU configuration, and
+  the asymmetric Figure 2 sample.
+* :mod:`repro.topology.validate` -- structural invariants.
+"""
+
+from repro.topology.node import TreeNode
+from repro.topology.tree import TopologyTree
+from repro.topology.spec import build_from_spec
+from repro.topology import builders
+from repro.topology.validate import validate_tree
+
+__all__ = [
+    "TreeNode",
+    "TopologyTree",
+    "build_from_spec",
+    "builders",
+    "validate_tree",
+]

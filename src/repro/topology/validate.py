@@ -1,0 +1,84 @@
+"""Structural validation of topology trees.
+
+The Northup tree "can be maintained by system software or constructed by
+the runtime library at program initialization" (Section III-B); either
+way, a malformed tree should fail loudly before any recursion starts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.tree import TopologyTree
+
+
+def validate_tree(tree: TopologyTree, *,
+                  require_leaf_processors: bool = True) -> None:
+    """Check the invariants every Northup tree must satisfy.
+
+    * non-empty, with exactly one root at level 0;
+    * parent/child links are mutually consistent and acyclic;
+    * levels increase by exactly 1 along each edge;
+    * node ids are unique (guaranteed by construction, re-checked here);
+    * every leaf has at least one processor (computation happens at
+      leaves -- Section III-B), unless ``require_leaf_processors=False``
+      for partially-built trees;
+    * processor instance names are globally unique (they become timeline
+      resources);
+    * every non-root edge carries a link.
+
+    Raises :class:`TopologyError` on the first violation.
+    """
+    nodes = list(tree.nodes())
+    if not nodes:
+        raise TopologyError("tree is empty")
+    root = tree.root
+    if root.level != 0:
+        raise TopologyError(f"root must be level 0, got {root.level}")
+    if root.parent is not None:
+        raise TopologyError("root has a parent")
+
+    seen_ids: set[int] = set()
+    for n in nodes:
+        if n.node_id in seen_ids:
+            raise TopologyError(f"duplicate node id {n.node_id}")
+        seen_ids.add(n.node_id)
+        for child in n.children:
+            if child.parent is not n:
+                raise TopologyError(
+                    f"node {child.node_id} is a child of {n.node_id} but "
+                    f"points at a different parent")
+            if child.level != n.level + 1:
+                raise TopologyError(
+                    f"level of node {child.node_id} is {child.level}, "
+                    f"expected {n.level + 1}")
+            if child.uplink is None:
+                raise TopologyError(
+                    f"edge {n.node_id} -> {child.node_id} has no link")
+        if n is not root and n.parent is None:
+            raise TopologyError(f"non-root node {n.node_id} has no parent")
+
+    # Reachability: every registered node must appear in the BFS.
+    if len(seen_ids) != len(tree):
+        raise TopologyError(
+            f"{len(tree) - len(seen_ids)} node(s) unreachable from the root")
+
+    if require_leaf_processors:
+        for leaf in tree.leaves():
+            if not leaf.has_processor():
+                raise TopologyError(
+                    f"leaf node {leaf.node_id} ({leaf.device.name}) has no "
+                    f"processor; computation happens at leaves")
+
+    proc_names: set[str] = set()
+    for p in tree.processors():
+        if p.name in proc_names:
+            raise TopologyError(f"duplicate processor name {p.name!r}")
+        proc_names.add(p.name)
+
+    dev_names: set[str] = set()
+    for n in nodes:
+        if n.device.name in dev_names:
+            raise TopologyError(
+                f"duplicate device instance name {n.device.name!r}; give "
+                f"each device a unique 'instance' label")
+        dev_names.add(n.device.name)

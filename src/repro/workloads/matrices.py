@@ -1,0 +1,33 @@
+"""Dense matrix workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffers import BufferHandle
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.topology.node import TreeNode
+
+
+def random_dense(rows: int, cols: int, *, seed: int,
+                 dtype=np.float32, scale: float = 1.0) -> np.ndarray:
+    """A seeded dense matrix with entries in ``[-scale, scale]``.
+
+    Uniform (rather than normal) entries keep partial-sum magnitudes
+    stable for the float32 accumulation checks in the GEMM tests.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigError(f"matrix dims must be >= 1, got {rows}x{cols}")
+    rng = np.random.default_rng(seed)
+    return (scale * (2.0 * rng.random((rows, cols)) - 1.0)).astype(dtype)
+
+
+def load_array(system: System, arr: np.ndarray, node: TreeNode | int, *,
+               label: str = "") -> BufferHandle:
+    """Place an array on a tree node: allocate + preload (untimed --
+    input preprocessing is excluded from measurement, Section V-B)."""
+    arr = np.ascontiguousarray(arr)
+    handle = system.alloc(arr.nbytes, node, label=label)
+    system.preload(handle, arr)
+    return handle

@@ -1,0 +1,110 @@
+"""Sparse matrix workloads.
+
+The paper's SpMV inputs come from the Florida (SuiteSparse) collection
+with 16 million rows.  What matters for CSR-Adaptive and for Northup's
+nnz-aware sharding is the *row-length distribution*: uniform short rows
+(CSR-Stream heaven), banded stencil-like structure, and power-law rows
+(a few huge rows forcing CSR-Vector bins and uneven shards).  The
+presets below are synthetic stand-ins shaped like recognisable Florida
+families, at configurable scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.kernels.spmv import CSRMatrix
+from repro.errors import ConfigError
+
+
+def _assemble(row_lengths: np.ndarray, ncols: int, rng,
+              dtype=np.float32) -> CSRMatrix:
+    """Build a CSR matrix with the given per-row nnz and random columns.
+
+    Columns are sampled with replacement (duplicates within a row are
+    allowed and sum, as in COO assembly) -- this keeps generation fully
+    vectorised, which matters at the row counts the benches use.
+    """
+    row_lengths = np.minimum(row_lengths.astype(np.int64), ncols)
+    row_ptr = np.concatenate([[0], np.cumsum(row_lengths)]).astype(np.int64)
+    nnz = int(row_ptr[-1])
+    col_id = rng.integers(0, ncols, size=nnz).astype(np.int32)
+    data = (2.0 * rng.random(nnz) - 1.0).astype(dtype)
+    return CSRMatrix(row_ptr=row_ptr, col_id=col_id, data=data, ncols=ncols)
+
+
+def uniform_random(nrows: int, ncols: int, *, nnz_per_row: int,
+                   seed: int) -> CSRMatrix:
+    """Every row has close to ``nnz_per_row`` non-zeros (+-50%)."""
+    if nrows < 1 or ncols < 1 or nnz_per_row < 0:
+        raise ConfigError("invalid uniform_random parameters")
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(max(0, nnz_per_row // 2),
+                           max(1, 3 * nnz_per_row // 2) + 1, size=nrows)
+    return _assemble(lengths, ncols, rng)
+
+
+def banded(nrows: int, *, bandwidth: int, seed: int = 0) -> CSRMatrix:
+    """A square banded matrix (stencil/PDE structure): each row holds the
+    diagonal block within ``bandwidth``.  Perfectly regular shards."""
+    if nrows < 1 or bandwidth < 1:
+        raise ConfigError("invalid banded parameters")
+    rng = np.random.default_rng(seed)
+    row_ptr = np.empty(nrows + 1, dtype=np.int64)
+    row_ptr[0] = 0
+    cols: list[np.ndarray] = []
+    for r in range(nrows):
+        lo = max(0, r - bandwidth)
+        hi = min(nrows, r + bandwidth + 1)
+        cols.append(np.arange(lo, hi, dtype=np.int32))
+        row_ptr[r + 1] = row_ptr[r] + (hi - lo)
+    col_id = np.concatenate(cols)
+    data = (2.0 * rng.random(col_id.size) - 1.0).astype(np.float32)
+    return CSRMatrix(row_ptr=row_ptr, col_id=col_id, data=data, ncols=nrows)
+
+
+def powerlaw_rows(nrows: int, ncols: int, *, alpha: float = 1.8,
+                  max_row: int | None = None, seed: int = 0) -> CSRMatrix:
+    """Power-law row lengths (web/social graph structure): most rows are
+    short, a heavy tail forces CSR-Vector bins and uneven shards."""
+    if nrows < 1 or ncols < 1:
+        raise ConfigError("invalid powerlaw parameters")
+    if alpha <= 1.0:
+        raise ConfigError(f"alpha must exceed 1, got {alpha}")
+    rng = np.random.default_rng(seed)
+    cap = max_row if max_row is not None else ncols
+    # Inverse-CDF sampling of a discrete power law on [1, cap].
+    u = rng.random(nrows)
+    lengths = np.floor((1.0 - u) ** (-1.0 / (alpha - 1.0))).astype(np.int64)
+    lengths = np.clip(lengths, 1, cap)
+    return _assemble(lengths, ncols, rng)
+
+
+_PRESETS = {
+    # name: (builder, description)
+    "stencil-like": ("banded",
+                     "regular 9-point band, the paper's 'regular blocks'"),
+    "circuit-like": ("uniform",
+                     "short uniform rows, circuit-simulation shape"),
+    "webgraph-like": ("powerlaw",
+                      "power-law rows, webbase/wikipedia shape"),
+}
+
+
+def preset_names() -> list[str]:
+    return sorted(_PRESETS)
+
+
+def preset(name: str, *, nrows: int = 65_536, seed: int = 0) -> CSRMatrix:
+    """A named Florida-collection-shaped matrix at the requested row
+    count (default 64k rows; the paper's inputs have 16M)."""
+    if name not in _PRESETS:
+        raise ConfigError(f"unknown preset {name!r}; known: {preset_names()}")
+    if nrows < 16:
+        raise ConfigError(f"preset needs nrows >= 16, got {nrows}")
+    if name == "stencil-like":
+        return banded(nrows, bandwidth=4, seed=seed)
+    if name == "circuit-like":
+        return uniform_random(nrows, nrows, nnz_per_row=7, seed=seed)
+    return powerlaw_rows(nrows, nrows, alpha=1.7,
+                         max_row=max(64, nrows // 16), seed=seed)

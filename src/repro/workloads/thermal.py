@@ -1,0 +1,43 @@
+"""HotSpot thermal workloads.
+
+Rodinia's HotSpot inputs are a temperature field near ambient and a
+power-density map with hot functional blocks; these generators produce
+the same structure at any resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+AMBIENT = 80.0  # matches the kernel's scaled ambient
+
+
+def initial_temperature(rows: int, cols: int, *, seed: int,
+                        spread: float = 10.0) -> np.ndarray:
+    """Temperature field: ambient plus smooth seeded variation."""
+    if rows < 1 or cols < 1:
+        raise ConfigError(f"grid must be >= 1x1, got {rows}x{cols}")
+    rng = np.random.default_rng(seed)
+    base = AMBIENT + spread * rng.random((rows, cols))
+    return base.astype(np.float32)
+
+
+def power_grid(rows: int, cols: int, *, seed: int, hot_blocks: int = 4,
+               peak: float = 1.0) -> np.ndarray:
+    """Power density: low background draw plus rectangular hot blocks
+    (cores, caches) placed by the seed."""
+    if rows < 1 or cols < 1:
+        raise ConfigError(f"grid must be >= 1x1, got {rows}x{cols}")
+    if hot_blocks < 0:
+        raise ConfigError(f"hot_blocks must be >= 0, got {hot_blocks}")
+    rng = np.random.default_rng(seed)
+    power = (0.01 * peak * rng.random((rows, cols))).astype(np.float32)
+    for _ in range(hot_blocks):
+        h = max(1, rows // 8)
+        w = max(1, cols // 8)
+        r0 = int(rng.integers(0, max(1, rows - h + 1)))
+        c0 = int(rng.integers(0, max(1, cols - w + 1)))
+        power[r0:r0 + h, c0:c0 + w] += peak * (0.5 + 0.5 * rng.random())
+    return power

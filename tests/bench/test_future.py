@@ -1,0 +1,33 @@
+"""Unit tests for the forward-looking analyses (reduced scale)."""
+
+import math
+
+from repro.bench import configs
+from repro.bench.future import (format_generations, format_spmv_structures,
+                                spmv_input_structures, storage_generations)
+
+SMALL = configs.WorkloadScale(gemm_n=128, hotspot_n=128,
+                              hotspot_iterations=4, hotspot_steps_per_pass=4,
+                              spmv_rows=4000, seed=11)
+
+
+def test_storage_generations_monotone():
+    rows = storage_generations(SMALL, apps=("hotspot", "spmv"))
+    by_app = {}
+    for r in rows:
+        by_app.setdefault(r.app, {})[r.storage] = r.slowdown
+    for per_storage in by_app.values():
+        assert per_storage["nvm"] <= per_storage["ssd"] <= per_storage["hdd"]
+    assert "nvm" in format_generations(rows)
+
+
+def test_spmv_structures_nnz_always_completes():
+    rows = spmv_input_structures(SMALL)
+    presets = {r.preset for r in rows}
+    assert "adversarial-skew" in presets
+    for r in rows:
+        if r.strategy == "nnz":
+            assert r.completed
+            assert math.isfinite(r.slowdown)
+    text = format_spmv_structures(rows)
+    assert "OVERFLOWS" in text or all(r.completed for r in rows)

@@ -1,0 +1,81 @@
+"""Tests for the generic sweep harness."""
+
+import csv
+
+import pytest
+
+from repro.bench.sweeps import SweepPoint, sweep, write_csv
+from repro.errors import ConfigError
+
+
+def test_sweep_crosses_grid_in_order():
+    seen = []
+
+    def run(a, b):
+        seen.append((a, b))
+        return float(a * 10 + b)
+
+    points = sweep(run, grid={"a": [1, 2], "b": [3, 4]})
+    assert seen == [(1, 3), (1, 4), (2, 3), (2, 4)]
+    assert [p.makespan for p in points] == [13.0, 14.0, 23.0, 24.0]
+    assert points[0].params == {"a": 1, "b": 3}
+
+
+def test_sweep_accepts_sweep_points():
+    def run(x):
+        return SweepPoint(params={}, makespan=x / 2,
+                          extra={"io_mb": x * 1.5})
+
+    points = sweep(run, grid={"x": [2.0]})
+    rec = points[0].as_record()
+    assert rec["x"] == 2.0
+    assert rec["makespan_s"] == 1.0
+    assert rec["io_mb"] == 3.0
+
+
+def test_sweep_validation():
+    with pytest.raises(ConfigError):
+        sweep(lambda: 0.0, grid={})
+    with pytest.raises(ConfigError):
+        sweep(lambda a: 0.0, grid={"a": []})
+
+
+def test_write_csv_roundtrip(tmp_path):
+    points = sweep(lambda n: float(n), grid={"n": [1, 2, 3]})
+    path = tmp_path / "sweep.csv"
+    assert write_csv(points, str(path)) == 3
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 3
+    assert rows[1]["n"] == "2" and float(rows[1]["makespan_s"]) == 2.0
+    with pytest.raises(ConfigError):
+        write_csv([], str(path))
+
+
+def test_sweep_end_to_end_with_real_app(tmp_path):
+    """Sweep the staging budget of a real out-of-core GEMM run."""
+    import numpy as np
+    from repro.apps import GemmApp
+    from repro.core.system import System
+    from repro.memory.units import KB, MB
+    from repro.topology.builders import apu_two_level
+
+    def run(staging_kb):
+        system = System(apu_two_level(storage_capacity=8 * MB,
+                                      staging_bytes=staging_kb * KB))
+        try:
+            app = GemmApp(system, m=96, k=96, n=96, seed=4)
+            app.run(system)
+            assert np.allclose(app.result(), app.reference(),
+                               rtol=1e-3, atol=1e-4)
+            return SweepPoint(params={}, makespan=system.makespan(),
+                              breakdown=system.breakdown())
+        finally:
+            system.close()
+
+    points = sweep(run, grid={"staging_kb": [64, 128, 256]})
+    assert len(points) == 3
+    count = write_csv(points, str(tmp_path / "gemm.csv"))
+    assert count == 3
+    rec = points[0].as_record()
+    assert 0.0 <= rec["share_gpu"] <= 1.0

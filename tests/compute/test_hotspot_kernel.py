@@ -1,0 +1,228 @@
+"""Unit and property tests for the HotSpot-2D stencil kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.kernels.hotspot import (Borders, HotspotParams,
+                                           default_params, extract_borders,
+                                           hotspot_cost, hotspot_run,
+                                           hotspot_step, pack_borders,
+                                           unpack_borders)
+from repro.errors import KernelError
+
+
+def grids(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    temp = (80 + 10 * rng.random((rows, cols))).astype(np.float32)
+    power = (1e-3 * rng.random((rows, cols))).astype(np.float32)
+    return temp, power
+
+
+def test_default_params_positive():
+    p = default_params(64, 64)
+    assert p.rx_inv > 0 and p.ry_inv > 0 and p.rz_inv > 0
+    assert p.step_div_cap > 0
+    with pytest.raises(KernelError):
+        default_params(0, 4)
+
+
+def test_params_validation():
+    with pytest.raises(KernelError):
+        HotspotParams(rx_inv=-1, ry_inv=1, rz_inv=1, step_div_cap=1)
+    with pytest.raises(KernelError):
+        HotspotParams(rx_inv=float("nan"), ry_inv=1, rz_inv=1, step_div_cap=1)
+
+
+def test_uniform_grid_no_power_relaxes_to_ambient():
+    """Physics sanity: with no power, temperature decays toward ambient."""
+    params = default_params(16, 16)
+    temp = np.full((16, 16), 100.0, dtype=np.float32)
+    power = np.zeros_like(temp)
+    out = hotspot_run(temp, power, params, steps=50)
+    assert np.all(out < temp)  # cooling
+    assert np.all(out > params.amb_temp - 1e-3)
+
+
+def test_power_heats_cell():
+    params = default_params(8, 8)
+    temp = np.full((8, 8), params.amb_temp, dtype=np.float32)
+    power = np.zeros_like(temp)
+    power[4, 4] = 1.0
+    out = hotspot_step(temp, power, params)
+    assert out[4, 4] > temp[4, 4]
+    assert out[0, 0] == pytest.approx(temp[0, 0])  # untouched far cell
+
+
+def test_step_shape_validation():
+    params = default_params(4, 4)
+    t, p = grids(4, 4)
+    with pytest.raises(KernelError):
+        hotspot_step(t, p[:2], params)
+    with pytest.raises(KernelError):
+        hotspot_step(t[0], p[0], params)
+
+
+def test_border_validation():
+    t, p = grids(4, 6)
+    params = default_params(4, 6)
+    bad = Borders(north=np.zeros(4), south=np.zeros(6), west=np.zeros(4),
+                  east=np.zeros(4))
+    with pytest.raises(KernelError):
+        hotspot_step(t, p, params, borders=bad)
+
+
+def test_pack_unpack_roundtrip():
+    t, _ = grids(5, 7)
+    b = Borders.replicate(t)
+    packed = pack_borders(b)
+    assert packed.shape == (2 * 7 + 2 * 5,)
+    b2 = unpack_borders(packed, 5, 7)
+    for name in ("north", "south", "west", "east"):
+        np.testing.assert_array_equal(getattr(b, name), getattr(b2, name))
+    with pytest.raises(KernelError):
+        unpack_borders(packed, 5, 6)
+
+
+def test_extract_borders_interior_and_edges():
+    grid = np.arange(25, dtype=np.float32).reshape(5, 5)
+    b = extract_borders(grid, 1, 3, 1, 3)
+    np.testing.assert_array_equal(b.north, grid[0, 1:3])
+    np.testing.assert_array_equal(b.south, grid[3, 1:3])
+    np.testing.assert_array_equal(b.west, grid[1:3, 0])
+    np.testing.assert_array_equal(b.east, grid[1:3, 3])
+    # Chip-corner block replicates its own edges where no neighbour exists.
+    c = extract_borders(grid, 0, 2, 0, 2)
+    np.testing.assert_array_equal(c.north, grid[0, 0:2])
+    np.testing.assert_array_equal(c.west, grid[0:2, 0])
+    with pytest.raises(KernelError):
+        extract_borders(grid, 0, 6, 0, 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(4, 24), cols=st.integers(4, 24),
+       br=st.integers(2, 8), bc=st.integers(2, 8), seed=st.integers(0, 999))
+def test_blocked_step_equals_full_step(rows, cols, br, bc, seed):
+    """The paper's decomposition invariant: computing per-block with
+    extracted borders reproduces the full-grid step exactly."""
+    temp, power = grids(rows, cols, seed)
+    params = default_params(rows, cols)
+    full = hotspot_step(temp, power, params)
+    blocked = np.empty_like(temp)
+    for r0 in range(0, rows, br):
+        r1 = min(r0 + br, rows)
+        for c0 in range(0, cols, bc):
+            c1 = min(c0 + bc, cols)
+            borders = extract_borders(temp, r0, r1, c0, c1)
+            blocked[r0:r1, c0:c1] = hotspot_step(
+                temp[r0:r1, c0:c1], power[r0:r1, c0:c1], params, borders)
+    np.testing.assert_allclose(blocked, full, rtol=1e-6, atol=1e-6)
+
+
+def test_run_multiple_steps_converges_monotonically():
+    params = default_params(12, 12)
+    temp, power = grids(12, 12, 3)
+    one = hotspot_run(temp, power, params, 1)
+    two = hotspot_run(temp, power, params, 2)
+    assert not np.array_equal(one, two)
+    assert np.array_equal(hotspot_run(temp, power, params, 0), temp)
+    with pytest.raises(KernelError):
+        hotspot_run(temp, power, params, -1)
+
+
+def test_out_parameter():
+    params = default_params(6, 6)
+    temp, power = grids(6, 6)
+    out = np.empty_like(temp)
+    res = hotspot_step(temp, power, params, out=out)
+    assert res is out
+    np.testing.assert_allclose(out, hotspot_step(temp, power, params),
+                               rtol=1e-6)
+
+
+def test_hotspot_cost_bandwidth_bound_on_apu():
+    from repro.compute.gpu import make_gpu_apu
+    gpu = make_gpu_apu()
+    c = hotspot_cost(1024, 1024)
+    compute_t = c.flops / (gpu.peak_gflops * 1e9 * c.efficiency)
+    memory_t = c.bytes_total / (gpu.mem_bw * c.bw_efficiency)
+    assert memory_t > compute_t  # the opposite regime from GEMM
+    assert c.bytes_total == pytest.approx(3 * 1024 * 1024 * 4)
+
+
+def test_hotspot_cost_validation():
+    with pytest.raises(KernelError):
+        hotspot_cost(0, 5)
+
+
+def test_chip_edges_helpers():
+    from repro.compute.kernels.hotspot import ChipEdges
+    e = ChipEdges.of_block(0, 4, 2, 8, rows=8, cols=8)
+    assert e.north and not e.south and not e.west and e.east
+    whole = ChipEdges.whole_chip()
+    assert e.intersect(whole) == e
+    inner = ChipEdges()
+    assert e.intersect(inner) == inner
+
+
+def test_pad_grid_replicates():
+    from repro.compute.kernels.hotspot import pad_grid
+    g = np.arange(9, dtype=np.float32).reshape(3, 3)
+    p = pad_grid(g, 2)
+    assert p.shape == (7, 7)
+    assert p[0, 0] == g[0, 0] and p[-1, -1] == g[-1, -1]
+    np.testing.assert_array_equal(p[2:-2, 2:-2], g)
+    with pytest.raises(KernelError):
+        pad_grid(g, -1)
+
+
+def test_multistep_whole_chip_equals_run():
+    from repro.compute.kernels.hotspot import (ChipEdges, hotspot_multistep,
+                                               pad_grid)
+    temp, power = grids(12, 10, 4)
+    params = default_params(12, 10)
+    K = 3
+    out = hotspot_multistep(pad_grid(temp, K), pad_grid(power, K), params,
+                            K, ChipEdges.whole_chip())
+    np.testing.assert_allclose(out, hotspot_run(temp, power, params, K),
+                               rtol=1e-5, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(6, 20), cols=st.integers(6, 20),
+       br=st.integers(3, 9), bc=st.integers(3, 9),
+       steps=st.integers(1, 3), seed=st.integers(0, 999))
+def test_multistep_blocked_equals_full(rows, cols, br, bc, steps, seed):
+    """Ghost-zone decomposition invariant: K steps per blocked pass with
+    K-wide halos reproduce K full-grid iterations exactly."""
+    from repro.compute.kernels.hotspot import (ChipEdges, hotspot_multistep,
+                                               pad_grid)
+    temp, power = grids(rows, cols, seed)
+    params = default_params(rows, cols)
+    full = hotspot_run(temp, power, params, steps)
+    t_pad, p_pad = pad_grid(temp, steps), pad_grid(power, steps)
+    blocked = np.empty_like(temp)
+    for r0 in range(0, rows, br):
+        r1 = min(r0 + br, rows)
+        for c0 in range(0, cols, bc):
+            c1 = min(c0 + bc, cols)
+            edges = ChipEdges.of_block(r0, r1, c0, c1, rows, cols)
+            # Padded slices: tile plus K halo (pad_grid offsets by K).
+            tp = t_pad[r0:r1 + 2 * steps, c0:c1 + 2 * steps]
+            pp = p_pad[r0:r1 + 2 * steps, c0:c1 + 2 * steps]
+            blocked[r0:r1, c0:c1] = hotspot_multistep(tp, pp, params,
+                                                      steps, edges)
+    np.testing.assert_allclose(blocked, full, rtol=1e-5, atol=1e-5)
+
+
+def test_multistep_validation():
+    from repro.compute.kernels.hotspot import ChipEdges, hotspot_multistep
+    params = default_params(8, 8)
+    t, p = grids(8, 8)
+    with pytest.raises(KernelError):
+        hotspot_multistep(t, p, params, 0, ChipEdges.whole_chip())
+    with pytest.raises(KernelError):
+        hotspot_multistep(t, p[:4], params, 1, ChipEdges.whole_chip())
+    with pytest.raises(KernelError):
+        hotspot_multistep(t, p, params, 4, ChipEdges.whole_chip())

@@ -1,0 +1,39 @@
+"""Unit tests for the processor registry."""
+
+import pytest
+
+from repro.compute import registry
+from repro.compute.processor import Processor, ProcessorKind
+from repro.errors import ConfigError
+
+
+def test_known_names_resolve():
+    assert set(registry.names()) >= {"cpu", "gpu-apu", "gpu-w9100"}
+    p = registry.make_processor("gpu-apu")
+    assert p.kind is ProcessorKind.GPU
+
+
+def test_rename_instance():
+    p = registry.make_processor("cpu", name="cpu-left")
+    assert p.name == "cpu-left"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigError):
+        registry.make_processor("tpu")
+
+
+def test_register_custom_factory():
+    def make_fpga(*, name="fpga0"):
+        return Processor(name=name, kind=ProcessorKind.FPGA,
+                         peak_gflops=200, mem_bw=40e9)
+
+    registry.register("fpga-test", make_fpga)
+    try:
+        p = registry.make_processor("fpga-test", name="fpga-a")
+        assert p.kind is ProcessorKind.FPGA
+        assert p.name == "fpga-a"
+        with pytest.raises(ConfigError):
+            registry.register("fpga-test", make_fpga)
+    finally:
+        registry._FACTORIES.pop("fpga-test", None)

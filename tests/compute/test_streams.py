@@ -1,0 +1,53 @@
+"""Unit tests for leaf-level streams (copy/compute overlap)."""
+
+import pytest
+
+from repro.compute.streams import Stream, StreamPool
+from repro.sim.timeline import Timeline
+from repro.sim.trace import Phase
+
+
+def test_same_stream_serialises():
+    tl = Timeline()
+    s = Stream(name="s0", timeline=tl)
+    a = s.enqueue("copy", 1.0, Phase.DEV_TRANSFER)
+    b = s.enqueue("gpu", 1.0, Phase.GPU_COMPUTE)
+    assert b.start == pytest.approx(a.end)
+    assert s.synchronize() == pytest.approx(2.0)
+
+
+def test_different_streams_overlap():
+    # The classic double-buffer: copy(k+1) overlaps compute(k).
+    tl = Timeline()
+    pool = StreamPool(timeline=tl, size=2)
+    s0, s1 = pool.next_stream(), pool.next_stream()
+    c0 = s0.enqueue("copy", 1.0, Phase.DEV_TRANSFER)
+    k0 = s0.enqueue("gpu", 2.0, Phase.GPU_COMPUTE)
+    c1 = s1.enqueue("copy", 1.0, Phase.DEV_TRANSFER)
+    k1 = s1.enqueue("gpu", 2.0, Phase.GPU_COMPUTE)
+    assert c1.start == pytest.approx(c0.end)   # copy engine serialises
+    assert c1.end <= k0.end                    # ...but overlaps compute
+    assert k1.start == pytest.approx(k0.end)   # gpu serialises kernels
+    assert pool.synchronize() == pytest.approx(5.0)
+
+
+def test_round_robin_reuses_streams():
+    pool = StreamPool(timeline=Timeline(), size=2)
+    a, b, c = pool.next_stream(), pool.next_stream(), pool.next_stream()
+    assert a is c and a is not b
+
+
+def test_extra_dependency_respected():
+    tl = Timeline()
+    s = Stream(name="s", timeline=tl)
+    done = s.enqueue("gpu", 1.0, Phase.GPU_COMPUTE, ready=10.0)
+    assert done.start == pytest.approx(10.0)
+
+
+def test_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        StreamPool(timeline=Timeline(), size=0)
+
+
+def test_pool_synchronize_empty():
+    assert StreamPool(timeline=Timeline()).synchronize() == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for buffer handles and the registry."""
+
+import pytest
+
+from repro.core.buffers import BufferHandle, BufferRegistry
+from repro.errors import AllocationError
+
+
+def test_register_and_lookup():
+    reg = BufferRegistry()
+    h = reg.register(node_id=3, nbytes=128, alloc_id=7, label="x")
+    assert h.node_id == 3 and h.nbytes == 128 and h.label == "x"
+    assert reg.check_live(h) is h
+    assert reg.live_count == 1
+
+
+def test_ids_unique_and_monotonic():
+    reg = BufferRegistry()
+    a = reg.register(node_id=0, nbytes=1, alloc_id=1)
+    b = reg.register(node_id=0, nbytes=1, alloc_id=2)
+    assert b.buffer_id > a.buffer_id
+
+
+def test_unregister_then_use_rejected():
+    reg = BufferRegistry()
+    h = reg.register(node_id=0, nbytes=1, alloc_id=1)
+    reg.unregister(h)
+    assert h.released
+    with pytest.raises(AllocationError):
+        reg.check_live(h)
+    with pytest.raises(AllocationError):
+        reg.unregister(h)
+
+
+def test_foreign_handle_rejected():
+    reg1, reg2 = BufferRegistry(), BufferRegistry()
+    h = reg1.register(node_id=0, nbytes=1, alloc_id=1)
+    with pytest.raises(AllocationError):
+        reg2.check_live(h)
+
+
+def test_forged_handle_rejected():
+    reg = BufferRegistry()
+    reg.register(node_id=0, nbytes=1, alloc_id=1)
+    forged = BufferHandle(buffer_id=1, node_id=0, nbytes=1, alloc_id=1)
+    with pytest.raises(AllocationError):
+        reg.check_live(forged)
+
+
+def test_dependency_time_tracking():
+    h = BufferHandle(buffer_id=1, node_id=0, nbytes=8, alloc_id=1)
+    h.note_write(2.0)
+    h.note_write(1.0)  # never moves backwards
+    assert h.ready_at == 2.0
+    h.note_read(3.0)
+    h.note_read(0.5)
+    assert h.last_read_end == 3.0
+
+
+def test_node_accounting_and_leaks():
+    reg = BufferRegistry()
+    a = reg.register(node_id=1, nbytes=100, alloc_id=1)
+    b = reg.register(node_id=1, nbytes=50, alloc_id=2)
+    reg.register(node_id=2, nbytes=10, alloc_id=3)
+    assert reg.live_bytes_on_node(1) == 150
+    reg.unregister(a)
+    assert reg.live_bytes_on_node(1) == 50
+    leaked = reg.leaked()
+    assert {h.buffer_id for h in leaked} == {b.buffer_id, 3}
+    assert reg.total_allocated == 3 and reg.total_released == 1

@@ -1,0 +1,223 @@
+"""Unit tests for the recursive program template (Listing 3)."""
+
+import numpy as np
+import pytest
+
+from repro.compute.processor import KernelCost, ProcessorKind
+from repro.core.program import NorthupProgram
+from repro.core.system import System
+from repro.errors import SchedulerError
+from repro.memory.units import MB
+from repro.topology.builders import apu_two_level, figure2_asymmetric
+
+
+class DoublingProgram(NorthupProgram):
+    """Test program: doubles a byte vector chunk by chunk through the
+    staging level, following Listing 3's structure exactly."""
+
+    def __init__(self, system, n, chunks):
+        self.n, self.num_chunks = n, chunks
+        root = system.tree.root
+        self.input = system.alloc(n, root, label="in")
+        self.output = system.alloc(n, root, label="out")
+        system.preload(self.input, (np.arange(n) % 100).astype(np.uint8))
+        self.calls = {"decompose": 0, "setup": 0, "down": 0, "compute": 0,
+                      "up": 0}
+
+    def decompose(self, ctx):
+        self.calls["decompose"] += 1
+        size = self.n // self.num_chunks
+        return [(i, i * size, size) for i in range(self.num_chunks)]
+
+    def setup_buffers(self, ctx, child, chunk):
+        self.calls["setup"] += 1
+        _i, _off, size = chunk
+        return {
+            "in": ctx.system.alloc(size, child, label="chunk-in"),
+            "out": ctx.system.alloc(size, child, label="chunk-out"),
+        }
+
+    def data_down(self, ctx, child_ctx, chunk):
+        self.calls["down"] += 1
+        _i, off, size = chunk
+        ctx.system.move_down(child_ctx.payload["in"], self.input, size,
+                             src_offset=off)
+
+    def compute_task(self, ctx):
+        self.calls["compute"] += 1
+        sys_ = ctx.system
+        bufs = ctx.payload
+        gpu = ctx.get_device(ProcessorKind.GPU)
+
+        def kernel():
+            data = sys_.fetch(bufs["in"], np.uint8)
+            sys_.preload(bufs["out"], (data * 2).astype(np.uint8))
+
+        sys_.launch(gpu, KernelCost(flops=1e6, bytes_read=bufs["in"].nbytes),
+                    reads=(bufs["in"],), writes=(bufs["out"],), fn=kernel)
+
+    def data_up(self, ctx, child_ctx, chunk):
+        self.calls["up"] += 1
+        _i, off, size = chunk
+        ctx.system.move_up(self.output, child_ctx.payload["out"], size,
+                           dst_offset=off)
+
+
+@pytest.fixture
+def apu_system():
+    sys_ = System(apu_two_level(storage_capacity=64 * MB,
+                                staging_bytes=1 * MB))
+    yield sys_
+    sys_.close()
+
+
+def test_program_computes_correct_result(apu_system):
+    prog = DoublingProgram(apu_system, n=4096, chunks=4)
+    prog.run(apu_system)
+    expected = ((np.arange(4096) % 100) * 2 % 256).astype(np.uint8)
+    np.testing.assert_array_equal(apu_system.fetch(prog.output, np.uint8),
+                                  expected)
+
+
+def test_program_hook_call_counts(apu_system):
+    prog = DoublingProgram(apu_system, n=4096, chunks=4)
+    prog.run(apu_system)
+    assert prog.calls == {"decompose": 1, "setup": 4, "down": 4,
+                          "compute": 4, "up": 4}
+
+
+def test_program_releases_chunk_buffers(apu_system):
+    prog = DoublingProgram(apu_system, n=4096, chunks=4)
+    prog.run(apu_system)
+    # Only the two root buffers remain live.
+    assert apu_system.registry.live_count == 2
+
+
+def test_program_charges_all_phases(apu_system):
+    prog = DoublingProgram(apu_system, n=4096, chunks=4)
+    prog.run(apu_system)
+    bd = apu_system.breakdown()
+    assert bd.gpu > 0 and bd.setup > 0 and bd.io > 0 and bd.runtime > 0
+
+
+def test_bad_select_child_rejected(apu_system):
+    class Bad(DoublingProgram):
+        def select_child(self, ctx, chunk):
+            return ctx.node  # not a child
+
+    prog = Bad(apu_system, n=1024, chunks=1)
+    with pytest.raises(SchedulerError):
+        prog.run(apu_system)
+
+
+def test_multi_branch_select_child():
+    """Chunks can be spread over sibling subtrees (Figure 2, node 3)."""
+    sys_ = System(figure2_asymmetric())
+    try:
+        seen_children = []
+
+        class Spread(NorthupProgram):
+            def decompose(self, ctx):
+                if ctx.node.node_id == 3:
+                    return [0, 1, 2, 3]
+                return [0]
+
+            def select_child(self, ctx, chunk):
+                kids = ctx.node.children
+                choice = kids[chunk % len(kids)] if isinstance(chunk, int) else kids[0]
+                if ctx.node.node_id == 3:
+                    seen_children.append(choice.node_id)
+                return choice
+
+            def setup_buffers(self, ctx, child, chunk):
+                return None
+
+            def data_down(self, ctx, child_ctx, chunk):
+                pass
+
+            def compute_task(self, ctx):
+                pass
+
+            def data_up(self, ctx, child_ctx, chunk):
+                pass
+
+        class Only3(Spread):
+            # Route the root's single chunk into the node-3 subtree.
+            def select_child(self, ctx, chunk):
+                if ctx.node.node_id == 0:
+                    return ctx.node.children[0]  # node 1
+                if ctx.node.node_id == 1:
+                    return ctx.node.children[0]  # node 3
+                return super().select_child(ctx, chunk)
+
+        Only3().run(sys_)
+        assert seen_children == [6, 7, 6, 7]
+    finally:
+        sys_.close()
+
+
+def test_teardown_handles_varied_payload_shapes(apu_system):
+    released = []
+    orig_release = apu_system.release
+
+    def spy(handle):
+        released.append(handle.buffer_id)
+        orig_release(handle)
+
+    apu_system.release = spy
+
+    class ListPayload(DoublingProgram):
+        def setup_buffers(self, ctx, child, chunk):
+            self.calls["setup"] += 1
+            _i, _off, size = chunk
+            return [ctx.system.alloc(size, child, label="a"),
+                    ctx.system.alloc(size, child, label="b")]
+
+        def data_down(self, ctx, child_ctx, chunk):
+            self.calls["down"] += 1
+            _i, off, size = chunk
+            ctx.system.move_down(child_ctx.payload[0], self.input, size,
+                                 src_offset=off)
+
+        def compute_task(self, ctx):
+            self.calls["compute"] += 1
+
+        def data_up(self, ctx, child_ctx, chunk):
+            self.calls["up"] += 1
+
+    prog = ListPayload(apu_system, n=1024, chunks=2)
+    prog.run(apu_system)
+    assert len(released) == 4  # two handles per chunk, two chunks
+
+
+def test_level_queue_tracks_chunk_progress(apu_system):
+    """Listing 1's work queues: n chunks -> n tasks, advanced through
+    the movement states and all done at the end."""
+    from repro.core.scheduler import TaskState
+
+    observed = {}
+
+    class Watcher(DoublingProgram):
+        def data_down(self, ctx, child_ctx, chunk):
+            q = ctx.scratch["level_queue"]
+            observed.setdefault("during_down", []).append(
+                q.count(TaskState.MOVING))
+            super().data_down(ctx, child_ctx, chunk)
+
+        def compute_task(self, ctx):
+            q = ctx.parent_ctx.scratch["level_queue"]
+            observed.setdefault("during_compute", []).append(
+                q.count(TaskState.RESIDENT))
+            super().compute_task(ctx)
+
+    prog = Watcher(apu_system, n=4096, chunks=4)
+    prog.run(apu_system)
+    # Exactly one task in MOVING while its data moves down, one RESIDENT
+    # while its leaf computes.
+    assert observed["during_down"] == [1, 1, 1, 1]
+    assert observed["during_compute"] == [1, 1, 1, 1]
+    # The queue is anchored at the root node and fully drained.
+    (queue,) = apu_system.tree.root.work_queues
+    assert queue.all_done
+    assert len(queue.tasks) == 4
+    assert "done=4" in queue.progress()

@@ -1,0 +1,87 @@
+"""Unit and property tests for work-stealing deques."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import QueueSet, WorkQueue
+from repro.errors import SchedulerError
+
+
+def test_owner_pops_lifo():
+    q = WorkQueue(name="q")
+    for i in range(3):
+        q.push(i)
+    assert [q.pop(), q.pop(), q.pop()] == [2, 1, 0]
+    assert q.pop() is None
+
+
+def test_thief_steals_fifo():
+    q = WorkQueue(name="q")
+    for i in range(3):
+        q.push(i)
+    assert q.steal() == 0  # oldest task from the head
+    assert q.pop() == 2    # owner still pops the newest
+    assert q.steal() == 1
+    assert q.empty and q.steal() is None
+
+
+def test_counters():
+    q = WorkQueue(name="q")
+    q.push("a")
+    q.push("b")
+    q.pop()
+    q.steal()
+    assert (q.pushes, q.pops, q.steals_suffered) == (2, 1, 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["push", "pop", "steal"]), max_size=60))
+def test_deque_semantics_match_model(ops):
+    """Owner-tail/thief-head semantics against a plain list model."""
+    q = WorkQueue(name="q")
+    model: list[int] = []
+    counter = 0
+    for op in ops:
+        if op == "push":
+            q.push(counter)
+            model.append(counter)
+            counter += 1
+        elif op == "pop":
+            got = q.pop()
+            want = model.pop() if model else None
+            assert got == want
+        else:
+            got = q.steal()
+            want = model.pop(0) if model else None
+            assert got == want
+    assert len(q) == len(model)
+
+
+def test_queue_set_round_robin():
+    qs = QueueSet.create(3, prefix="gpu-q", owner_prefix="wg")
+    qs.push_round_robin(list(range(7)))
+    assert [len(q) for q in qs.queues] == [3, 2, 2]
+    assert qs.total_pending() == 7
+    assert qs[0].owner == "wg0"
+    assert len(qs) == 3
+
+
+def test_queue_set_steal_prefers_longest():
+    qs = QueueSet.create(3, prefix="q")
+    qs[0].push("a")
+    qs[2].push("x")
+    qs[2].push("y")
+    got = qs.steal_from_any(exclude=qs[1])
+    assert got == "x"  # from the longest queue, head end
+
+
+def test_queue_set_steal_excludes_self():
+    qs = QueueSet.create(2, prefix="q")
+    qs[0].push("mine")
+    assert qs.steal_from_any(exclude=qs[0]) is None
+
+
+def test_queue_set_validation():
+    with pytest.raises(SchedulerError):
+        QueueSet.create(0, prefix="q")

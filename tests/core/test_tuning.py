@@ -1,0 +1,93 @@
+"""Tests for profiling-guided processor selection (Section III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.compute.processor import KernelCost, ProcessorKind
+from repro.core.context import root_context
+from repro.core.system import System
+from repro.core.tuning import AdaptiveDispatcher
+from repro.errors import SchedulerError
+from repro.memory.units import MB
+from repro.topology.builders import apu_two_level
+
+
+@pytest.fixture
+def apu():
+    sys_ = System(apu_two_level(storage_capacity=16 * MB,
+                                staging_bytes=4 * MB))
+    yield sys_
+    sys_.close()
+
+
+def procs(system):
+    leaf = system.tree.leaves()[0]
+    return leaf.processor_named("gpu-apu"), leaf.processor_named("cpu0")
+
+
+def test_explores_every_processor_first(apu):
+    gpu, cpu = procs(apu)
+    d = AdaptiveDispatcher(processors=[gpu, cpu], explore=2)
+    chosen = []
+    for _ in range(4):
+        p = d.choose()
+        chosen.append(p.name)
+        d.record(p, seconds=1.0, work=1.0)
+    assert chosen == ["gpu-apu", "gpu-apu", "cpu0", "cpu0"]
+
+
+def test_converges_to_fastest(apu):
+    gpu, cpu = procs(apu)
+    d = AdaptiveDispatcher(processors=[cpu, gpu])  # cpu registered first
+    # Exploration: cpu slow, gpu fast.
+    d.record(d.choose(), seconds=8.0, work=1.0)   # cpu
+    d.record(d.choose(), seconds=1.0, work=1.0)   # gpu
+    for _ in range(5):
+        p = d.choose()
+        assert p is gpu
+        d.record(p, seconds=1.0, work=1.0)
+    assert d.observed_rate(gpu) > d.observed_rate(cpu)
+    assert "gpu-apu" in d.report()
+
+
+def test_adapts_when_measurements_shift(apu):
+    gpu, cpu = procs(apu)
+    d = AdaptiveDispatcher(processors=[gpu, cpu])
+    d.record(d.choose(), seconds=1.0, work=1.0)    # gpu: rate 1
+    d.record(d.choose(), seconds=0.2, work=1.0)    # cpu: rate 5
+    assert d.choose() is cpu
+
+
+def test_end_to_end_with_real_launches(apu):
+    """Drive actual kernels: the dispatcher should route a
+    bandwidth-light, launch-heavy kernel to whichever processor the
+    roofline makes faster, using only observed completions."""
+    gpu, cpu = procs(apu)
+    d = AdaptiveDispatcher(processors=[cpu, gpu])
+    leaf = apu.tree.leaves()[0]
+    buf = apu.alloc(1024, leaf)
+    cost = KernelCost(flops=50e9, bytes_read=1024)  # GPU-favoured
+
+    for chunk in range(6):
+        p = d.choose()
+        done = apu.launch(p, cost, reads=(buf,),
+                          label=f"chunk{chunk}@{p.name}")
+        d.record(p, seconds=done.duration, work=1.0)
+    # After one exploration round each, everything went to the GPU.
+    assert d.launches(gpu) == 5
+    assert d.launches(cpu) == 1
+
+
+def test_validation(apu):
+    gpu, cpu = procs(apu)
+    with pytest.raises(SchedulerError):
+        AdaptiveDispatcher(processors=[])
+    with pytest.raises(SchedulerError):
+        AdaptiveDispatcher(processors=[gpu], explore=0)
+    with pytest.raises(SchedulerError):
+        AdaptiveDispatcher(processors=[gpu, gpu])
+    d = AdaptiveDispatcher(processors=[gpu])
+    with pytest.raises(SchedulerError):
+        d.record(cpu, seconds=1.0)
+    with pytest.raises(SchedulerError):
+        d.record(gpu, seconds=-1.0)

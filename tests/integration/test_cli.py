@@ -1,0 +1,103 @@
+"""Tests for the describe CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.tools.describe import TOPOLOGIES, main
+
+
+def run_cli(*args):
+    proc = subprocess.run([sys.executable, "-m", "repro.tools.describe",
+                           *args], capture_output=True, text=True,
+                          timeout=120)
+    return proc
+
+
+def test_list_names_every_topology(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in TOPOLOGIES:
+        assert name in out
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_every_topology_renders(name, capsys):
+    assert main(["--topology", name]) == 0
+    out = capsys.readouterr().out
+    assert "levels:" in out and "L0" in out
+
+
+def test_unknown_topology_fails(capsys):
+    assert main(["--topology", "warpdrive"]) == 2
+    assert "unknown topology" in capsys.readouterr().err
+
+
+def test_devices_and_processors(capsys):
+    assert main(["--devices"]) == 0
+    out = capsys.readouterr().out
+    assert "ssd" in out and "1400.0 MB/s" in out
+    assert main(["--processors"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu-apu" in out and "737" in out
+
+
+def test_no_args_prints_help(capsys):
+    assert main([]) == 0
+    assert "usage" in capsys.readouterr().out
+
+
+def test_module_entrypoint_runs():
+    proc = run_cli("--topology", "apu")
+    assert proc.returncode == 0
+    assert "dram.staging" in proc.stdout
+
+
+def test_evaluate_quick_runs_everything(tmp_path, capsys):
+    from repro.tools.evaluate import main as eval_main
+    assert eval_main(["--quick", "--out", str(tmp_path / "r")]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6", "fig7", "fig8", "fig9", "fig11", "overhead",
+                 "storage_generations", "spmv_structures"):
+        assert f"===== {name} =====" in out
+        assert (tmp_path / "r" / f"{name}.txt").exists()
+
+
+def test_evaluate_only_and_unknown(capsys):
+    from repro.tools.evaluate import main as eval_main
+    assert eval_main(["--quick", "--only", "fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "fig11" in out and "fig6" not in out
+    assert eval_main(["--quick", "--only", "fig99"]) == 2
+
+
+def test_evaluation_is_deterministic():
+    """EXPERIMENTS.md's claim: two runs produce identical tables."""
+    from repro.tools.evaluate import QUICK_SCALE, run_all
+    assert run_all(QUICK_SCALE) == run_all(QUICK_SCALE)
+
+
+def test_spec_file_rendering(tmp_path, capsys):
+    import json
+    spec = {"device": "ssd", "capacity": "4MB",
+            "children": [{"device": "dram", "capacity": "1MB",
+                          "processors": ["gpu-apu"]}]}
+    path = tmp_path / "machine.json"
+    path.write_text(json.dumps(spec))
+    assert main(["--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "levels: 2" in out and "gpu-apu" in out
+
+
+def test_spec_file_errors(tmp_path, capsys):
+    assert main(["--spec", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["--spec", str(bad)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+    invalid = tmp_path / "invalid.json"
+    invalid.write_text('{"device": "warpdrive"}')
+    assert main(["--spec", str(invalid)]) == 2
+    assert "invalid topology spec" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Genuine out-of-core integration: apps over a file-backed storage root.
+
+The repro risk flagged for this paper is losing out-of-core fidelity.
+These tests run every application with the tree root's bytes living in
+real files on disk (the FileBackend), so the chunked read/write paths,
+capacity enforcement, and result reassembly are exercised against the
+actual filesystem -- not just in-process arrays.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps import GemmApp, HotspotApp, SpmvApp
+from repro.core.system import System
+from repro.memory.backends import FileBackend
+from repro.memory.units import KB, MB
+from repro.topology.builders import apu_two_level
+from repro.workloads.sparse import uniform_random
+
+
+@pytest.fixture
+def file_system(tmp_path):
+    backend = FileBackend(str(tmp_path / "storage"))
+    tree = apu_two_level(storage="ssd", storage_capacity=64 * MB,
+                         staging_bytes=128 * KB, storage_backend=backend)
+    system = System(tree)
+    yield system, tmp_path / "storage"
+    system.close()
+
+
+def test_gemm_out_of_core_over_files(file_system):
+    system, storage_dir = file_system
+    app = GemmApp(system, m=160, k=160, n=160, seed=21)
+    # The operands genuinely live in files before the run starts.
+    files = list(storage_dir.glob("*.bin"))
+    assert len(files) >= 3
+    total = sum(os.path.getsize(f) for f in files)
+    assert total >= 3 * 160 * 160 * 4
+    app.run(system)
+    np.testing.assert_allclose(app.result(), app.reference(),
+                               rtol=1e-3, atol=1e-4)
+
+
+def test_hotspot_out_of_core_over_files(file_system):
+    system, _ = file_system
+    app = HotspotApp(system, n=96, iterations=2, steps_per_pass=2, seed=22)
+    app.run(system)
+    np.testing.assert_allclose(app.result(), app.reference(),
+                               rtol=1e-4, atol=1e-4)
+
+
+def test_spmv_out_of_core_over_files(file_system):
+    system, _ = file_system
+    matrix = uniform_random(3000, 3000, nnz_per_row=6, seed=23)
+    app = SpmvApp(system, matrix=matrix, seed=23)
+    app.run(system)
+    np.testing.assert_allclose(app.result(), app.reference(),
+                               rtol=1e-3, atol=1e-4)
+
+
+def test_files_removed_on_close(tmp_path):
+    backend = FileBackend(str(tmp_path / "s"))
+    tree = apu_two_level(storage="ssd", storage_capacity=8 * MB,
+                         staging_bytes=64 * KB, storage_backend=backend)
+    system = System(tree)
+    system.alloc(1024, tree.root)
+    assert any((tmp_path / "s").iterdir())
+    system.close()
+    assert not (tmp_path / "s").exists()
+
+
+def test_sync_writes_mode(tmp_path):
+    """The paper's O_SYNC configuration: synchronous storage writes."""
+    backend = FileBackend(str(tmp_path / "s"), sync_writes=True)
+    tree = apu_two_level(storage="ssd", storage_capacity=8 * MB,
+                         staging_bytes=64 * KB, storage_backend=backend)
+    system = System(tree)
+    try:
+        app = GemmApp(system, m=64, k=64, n=64, seed=5)
+        app.run(system)
+        np.testing.assert_allclose(app.result(), app.reference(),
+                                   rtol=1e-3, atol=1e-4)
+    finally:
+        system.close()
+
+
+def test_wall_clock_io_recorded_for_file_backend(file_system):
+    """Out-of-core fidelity evidence: real filesystem work happened."""
+    system, _ = file_system
+    app = GemmApp(system, m=96, k=96, n=96, seed=24)
+    app.run(system)
+    assert system.wall.bytes_moved > 3 * 96 * 96 * 4  # more than one pass
+    assert system.wall.physical_seconds > 0.0
+    assert system.wall.ops >= 10

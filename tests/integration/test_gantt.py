@@ -1,0 +1,83 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sim.trace import Interval, Phase, Trace
+from repro.tools.gantt import IDLE, render
+
+
+def trace():
+    t = Trace()
+    t.record(Interval(0.0, 0.5, Phase.IO_READ, "ssd.ch", nbytes=10))
+    t.record(Interval(0.5, 1.0, Phase.GPU_COMPUTE, "gpu"))
+    t.record(Interval(0.75, 1.0, Phase.IO_READ, "ssd.ch", nbytes=10))
+    return t
+
+
+def test_rows_and_axis():
+    text = render(trace(), width=8)
+    lines = text.splitlines()
+    assert lines[0].startswith("ssd.ch")
+    assert lines[1].startswith("gpu")
+    assert "time: 0 .. 1000.000 ms" in text
+    assert "R=io_read" in text
+
+
+def test_phase_characters_placed():
+    text = render(trace(), width=8)
+    ssd_row = text.splitlines()[0].split()[-1]
+    gpu_row = text.splitlines()[1].split()[-1]
+    # First half of the SSD row reads, gap, then the prefetch read.
+    assert ssd_row[:4] == "RRRR"
+    assert ssd_row[4] == IDLE
+    assert "R" in ssd_row[6:]
+    assert gpu_row[:4] == IDLE * 4
+    assert gpu_row[4:] == "GGGG"
+
+
+def test_composite_resources_split():
+    t = Trace()
+    t.record(Interval(0, 1.0, Phase.IO_READ, "ssd.ch+pcie.down", nbytes=1))
+    text = render(t, width=8)
+    assert text.splitlines()[0].startswith("ssd.ch")
+    assert text.splitlines()[1].startswith("pcie.down")
+
+
+def test_host_hidden_by_default():
+    t = Trace()
+    t.record(Interval(0, 1.0, Phase.SETUP, "host"))
+    t.record(Interval(0, 1.0, Phase.GPU_COMPUTE, "gpu"))
+    assert "host" not in render(t, width=8)
+    assert "host" in render(t, width=8, include_host=True)
+
+
+def test_resource_filter():
+    text = render(trace(), width=8, resources=["gpu"])
+    assert "ssd.ch" not in text
+
+
+def test_empty_and_validation():
+    assert render(Trace(), width=8) == "(empty trace)"
+    with pytest.raises(ValueError):
+        render(trace(), width=2)
+    t = Trace()
+    t.record(Interval(0, 1.0, Phase.SETUP, "host"))
+    assert render(t, width=8) == "(no matching resources)"
+
+
+def test_full_run_renders():
+    from repro.apps import GemmApp
+    from repro.core.system import System
+    from repro.memory.units import KB, MB
+    from repro.topology.builders import apu_two_level
+
+    system = System(apu_two_level(storage_capacity=8 * MB,
+                                  staging_bytes=128 * KB))
+    try:
+        app = GemmApp(system, m=96, k=96, n=96, seed=1)
+        app.run(system)
+        text = render(system.timeline.trace, width=60)
+        assert "gpu-apu" in text and "ssd.root.ch" in text
+        assert "G" in text and "R" in text and "W" in text
+    finally:
+        system.close()

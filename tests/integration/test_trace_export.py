@@ -1,0 +1,76 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import numpy as np
+
+from repro.apps import GemmApp
+from repro.core.system import System
+from repro.memory.units import KB, MB
+from repro.sim.trace import Interval, Phase, Trace
+from repro.tools.trace_export import to_chrome_trace, write_chrome_trace
+from repro.topology.builders import apu_two_level
+
+
+def small_trace():
+    t = Trace()
+    t.record(Interval(0.0, 0.5, Phase.IO_READ, "ssd.ch", label="A down",
+                      nbytes=1024))
+    t.record(Interval(0.5, 1.5, Phase.GPU_COMPUTE, "gpu-apu",
+                      label="gemm"))
+    return t
+
+
+def test_events_carry_timing_and_metadata():
+    events = to_chrome_trace(small_trace())
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2
+    assert len(meta) == 2  # one thread-name record per resource
+    io = next(e for e in complete if e["cat"] == "io_read")
+    assert io["ts"] == 0.0 and io["dur"] == 0.5e6
+    assert io["args"]["bytes"] == 1024
+    assert io["name"] == "A down"
+    names = {m["args"]["name"] for m in meta}
+    assert names == {"ssd.ch", "gpu-apu"}
+
+
+def test_resources_map_to_stable_tids():
+    events = to_chrome_trace(small_trace())
+    by_resource = {}
+    for e in events:
+        if e["ph"] == "X":
+            by_resource.setdefault(e["args"]["resource"], set()).add(e["tid"])
+    for tids in by_resource.values():
+        assert len(tids) == 1
+
+
+def test_write_and_reload(tmp_path):
+    path = tmp_path / "run.json"
+    count = write_chrome_trace(small_trace(), str(path))
+    assert count == 4
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    assert len(data["traceEvents"]) == 4
+
+
+def test_full_app_run_exports(tmp_path):
+    system = System(apu_two_level(storage_capacity=8 * MB,
+                                  staging_bytes=128 * KB))
+    try:
+        app = GemmApp(system, m=96, k=96, n=96, seed=2)
+        app.run(system)
+        np.testing.assert_allclose(app.result(), app.reference(),
+                                   rtol=1e-3, atol=1e-4)
+        path = tmp_path / "gemm.json"
+        count = write_chrome_trace(system.timeline.trace, str(path))
+        assert count > 50
+        data = json.loads(path.read_text())
+        cats = {e["cat"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert {"io_read", "io_write", "gpu_compute", "setup"} <= cats
+    finally:
+        system.close()
+
+
+def test_empty_trace():
+    assert to_chrome_trace(Trace()) == []

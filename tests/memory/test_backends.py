@@ -1,0 +1,134 @@
+"""Unit and property tests for data backends (memory and file)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, TransferError
+from repro.memory.backends import FileBackend, MemBackend
+
+
+@pytest.fixture(params=["mem", "file"])
+def backend(request, tmp_path):
+    if request.param == "mem":
+        b = MemBackend()
+    else:
+        b = FileBackend(str(tmp_path / "store"))
+    yield b
+    b.close()
+
+
+def test_create_read_write_roundtrip(backend):
+    backend.create(1, 64)
+    data = np.arange(16, dtype=np.uint8)
+    backend.write(1, 8, data)
+    out = backend.read(1, 8, 16)
+    np.testing.assert_array_equal(out, data)
+    # Untouched region stays zero.
+    assert backend.read(1, 0, 8).sum() == 0
+    assert backend.size_of(1) == 64
+
+
+def test_write_accepts_bytes_and_ndarray(backend):
+    backend.create(1, 32)
+    backend.write(1, 0, b"\x01\x02\x03")
+    backend.write(1, 3, np.array([4, 5], dtype=np.uint8))
+    backend.write(1, 5, bytearray([6]))
+    np.testing.assert_array_equal(backend.read(1, 0, 6),
+                                  np.array([1, 2, 3, 4, 5, 6], dtype=np.uint8))
+
+
+def test_write_noncontiguous_array(backend):
+    backend.create(1, 16)
+    arr = np.arange(32, dtype=np.uint8)[::2]  # strided view
+    backend.write(1, 0, arr)
+    np.testing.assert_array_equal(backend.read(1, 0, 16), np.ascontiguousarray(arr))
+
+
+def test_multibyte_dtype_roundtrip(backend):
+    backend.create(1, 40)
+    vals = np.linspace(-1, 1, 10, dtype=np.float32)
+    backend.write(1, 0, vals)
+    out = backend.read(1, 0, 40).view(np.float32)
+    np.testing.assert_array_equal(out, vals)
+
+
+def test_out_of_bounds_rejected(backend):
+    backend.create(1, 16)
+    with pytest.raises(TransferError):
+        backend.read(1, 8, 16)
+    with pytest.raises(TransferError):
+        backend.write(1, 10, np.zeros(8, dtype=np.uint8))
+    with pytest.raises(TransferError):
+        backend.read(1, -1, 4)
+
+
+def test_unknown_id_rejected(backend):
+    with pytest.raises(AllocationError):
+        backend.read(99, 0, 1)
+    with pytest.raises(AllocationError):
+        backend.destroy(99)
+
+
+def test_duplicate_create_rejected(backend):
+    backend.create(1, 8)
+    with pytest.raises(AllocationError):
+        backend.create(1, 8)
+
+
+def test_destroy_then_access_rejected(backend):
+    backend.create(1, 8)
+    backend.destroy(1)
+    with pytest.raises(AllocationError):
+        backend.read(1, 0, 1)
+
+
+def test_mem_backend_view_is_zero_copy():
+    b = MemBackend()
+    b.create(1, 8)
+    view = b.view(1)
+    view[3] = 42
+    assert b.read(1, 3, 1)[0] == 42
+
+
+def test_file_backend_creates_sparse_files(tmp_path):
+    b = FileBackend(str(tmp_path / "s"))
+    b.create(1, 1 << 20)
+    # Reading an unwritten sparse region returns zeros.
+    assert b.read(1, 1 << 19, 64).sum() == 0
+    b.close()
+
+
+def test_file_backend_sync_writes(tmp_path):
+    b = FileBackend(str(tmp_path / "s"), sync_writes=True)
+    b.create(1, 16)
+    b.write(1, 0, b"hello")
+    assert bytes(b.read(1, 0, 5)) == b"hello"
+    b.close()
+
+
+def test_file_backend_close_removes_root(tmp_path):
+    root = tmp_path / "s"
+    b = FileBackend(str(root))
+    b.create(1, 8)
+    assert root.exists()
+    b.close()
+    assert not root.exists()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_random_writes_match_shadow_model(data):
+    """Property: a backend behaves like a plain byte array."""
+    size = data.draw(st.integers(min_value=1, max_value=256))
+    b = MemBackend()
+    b.create(1, size)
+    shadow = np.zeros(size, dtype=np.uint8)
+    for _ in range(data.draw(st.integers(min_value=0, max_value=20))):
+        off = data.draw(st.integers(min_value=0, max_value=size - 1))
+        ln = data.draw(st.integers(min_value=0, max_value=size - off))
+        payload = data.draw(st.binary(min_size=ln, max_size=ln))
+        b.write(1, off, payload)
+        shadow[off:off + ln] = np.frombuffer(payload, dtype=np.uint8)
+        np.testing.assert_array_equal(b.read(1, 0, size), shadow)

@@ -1,0 +1,55 @@
+"""Unit tests for interconnect links and transfer costs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import catalog
+from repro.memory.channel import (MEMORY_BUS, ONCHIP, PCIE3_X4, PCIE3_X16,
+                                  SATA3, Link, default_link_for, transfer_cost)
+from repro.memory.units import GB, MB
+
+
+def test_link_validation():
+    with pytest.raises(ConfigError):
+        Link(name="x", bandwidth=0)
+    with pytest.raises(ConfigError):
+        Link(name="x", bandwidth=1, latency=-1)
+
+
+def test_duplex_link_has_directional_resources():
+    assert PCIE3_X16.resource_name("down") != PCIE3_X16.resource_name("up")
+    assert SATA3.resource_name("down") == SATA3.resource_name("up")
+
+
+def test_transfer_cost_bottleneck_is_min_bandwidth():
+    ssd, dram = catalog.spec("ssd"), catalog.spec("dram")
+    # SSD read at 1400 MB/s is the bottleneck reading into DRAM over PCIe x4.
+    t = transfer_cost(1400 * MB, ssd, PCIE3_X4, dram)
+    assert t == pytest.approx(1.0 + ssd.latency + PCIE3_X4.latency + dram.latency)
+    # Writing back, the SSD write side (600 MB/s) dominates.
+    t = transfer_cost(600 * MB, dram, PCIE3_X4, ssd)
+    assert t == pytest.approx(1.0 + ssd.latency + PCIE3_X4.latency + dram.latency)
+
+
+def test_transfer_cost_link_can_be_bottleneck():
+    dram, gpu = catalog.spec("dram"), catalog.spec("gpu-mem")
+    t = transfer_cost(12 * GB, dram, PCIE3_X16, gpu)
+    assert t == pytest.approx(1.0, rel=1e-3)
+
+
+def test_transfer_cost_rejects_negative():
+    with pytest.raises(ConfigError):
+        transfer_cost(-1, catalog.spec("dram"), MEMORY_BUS, catalog.spec("dram"))
+
+
+def test_default_link_selection():
+    hdd, ssd = catalog.spec("hdd"), catalog.spec("ssd")
+    dram, hbm = catalog.spec("dram"), catalog.spec("hbm")
+    gpu, local = catalog.spec("gpu-mem"), catalog.spec("gpu-local")
+    assert default_link_for(hdd, dram) is SATA3
+    assert default_link_for(ssd, dram) is PCIE3_X4
+    assert default_link_for(dram, gpu) is PCIE3_X16
+    assert default_link_for(gpu, local) is ONCHIP
+    assert default_link_for(dram, hbm) is MEMORY_BUS
+    # Order independence.
+    assert default_link_for(dram, hdd) is SATA3

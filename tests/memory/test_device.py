@@ -1,0 +1,133 @@
+"""Unit tests for Device, DeviceSpec, and the device catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.memory import catalog
+from repro.memory.backends import FileBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.dram import make_dram
+from repro.memory.gpumem import make_gpu_device_mem, make_gpu_local_mem
+from repro.memory.hbm import make_hbm
+from repro.memory.hdd import make_hdd
+from repro.memory.nvm import make_nvm
+from repro.memory.ssd import make_ssd
+from repro.memory.units import GB, MB
+
+
+def test_spec_costs():
+    spec = DeviceSpec(name="d", kind=StorageKind.FILE, capacity=GB,
+                      read_bw=100 * MB, write_bw=50 * MB, latency=1e-3)
+    assert spec.read_cost(100 * MB) == pytest.approx(1.001)
+    assert spec.write_cost(50 * MB) == pytest.approx(1.001)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        DeviceSpec(name="x", kind=StorageKind.MEM, capacity=0,
+                   read_bw=1, write_bw=1)
+    with pytest.raises(ConfigError):
+        DeviceSpec(name="x", kind=StorageKind.MEM, capacity=1,
+                   read_bw=0, write_bw=1)
+    with pytest.raises(ConfigError):
+        DeviceSpec(name="x", kind=StorageKind.MEM, capacity=1,
+                   read_bw=1, write_bw=1, latency=-1)
+
+
+def test_spec_scaled_replaces_fields():
+    base = make_ssd().spec
+    scaled = base.scaled(capacity=123, read_bw=1.0)
+    assert scaled.capacity == 123
+    assert scaled.read_bw == 1.0
+    assert scaled.write_bw == base.write_bw
+    assert scaled.kind is base.kind
+
+
+def test_device_allocate_write_read_release():
+    dev = make_dram(capacity=4096)
+    h = dev.allocate(256)
+    dev.write(h, 0, np.full(256, 7, dtype=np.uint8))
+    assert dev.read(h, 0, 256).sum() == 7 * 256
+    assert dev.used_bytes == 256
+    dev.release(h)
+    assert dev.used_bytes == 0
+
+
+def test_device_capacity_enforced():
+    dev = make_dram(capacity=1024)
+    dev.allocate(512)
+    with pytest.raises(CapacityError):
+        dev.allocate(1024)
+
+
+def test_half_duplex_shares_channel():
+    hdd = make_hdd()
+    assert hdd.read_resource == hdd.write_resource
+
+
+def test_duplex_separates_channels():
+    dram = make_dram()
+    assert dram.read_resource != dram.write_resource
+
+
+def test_instance_names_disambiguate():
+    a = make_dram(instance="dram0")
+    b = make_dram(instance="dram1")
+    assert a.read_resource != b.read_resource
+    assert a.name == "dram0"
+
+
+def test_device_with_file_backend(tmp_path):
+    dev = make_ssd(capacity=1 * MB,
+                   backend=FileBackend(str(tmp_path / "ssd")))
+    h = dev.allocate(128)
+    dev.write(h, 0, b"northup")
+    assert bytes(dev.read(h, 0, 7)) == b"northup"
+    dev.close()
+
+
+def test_factories_produce_expected_kinds():
+    assert make_hdd().kind is StorageKind.FILE
+    assert make_ssd().kind is StorageKind.FILE
+    assert make_nvm(mode="block").kind is StorageKind.FILE
+    assert make_nvm(mode="dimm").kind is StorageKind.MEM
+    assert make_dram().kind is StorageKind.MEM
+    assert make_hbm().kind is StorageKind.MEM
+    assert make_gpu_device_mem().kind is StorageKind.GPU_DEVICE
+    assert make_gpu_local_mem().kind is StorageKind.GPU_LOCAL
+
+
+def test_nvm_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        make_nvm(mode="quantum")
+
+
+def test_ssd_bandwidth_overrides():
+    dev = make_ssd(read_bw=3500 * MB, write_bw=2100 * MB)
+    assert dev.spec.read_bw == 3500 * MB
+    assert dev.spec.write_bw == 2100 * MB
+
+
+def test_paper_calibration_numbers():
+    """Section V-A device numbers are preserved in the catalog."""
+    assert catalog.spec("ssd").read_bw == 1400 * MB
+    assert catalog.spec("ssd").write_bw == 600 * MB
+    assert catalog.spec("ssd-fast").read_bw == 3500 * MB
+    assert catalog.spec("ssd-fast").write_bw == 2100 * MB
+    assert catalog.spec("hdd").read_bw == 125 * MB
+    assert catalog.spec("dram").capacity == 16 * GB
+
+
+def test_catalog_lookup_and_errors():
+    assert set(catalog.names()) >= {"hdd", "ssd", "dram", "gpu-mem"}
+    dev = catalog.make_device("hbm", capacity=1024, instance="hbm0")
+    assert dev.capacity == 1024
+    assert dev.name == "hbm0"
+    with pytest.raises(ConfigError):
+        catalog.spec("floppy")
+
+
+def test_describe_mentions_key_numbers():
+    text = catalog.spec("ssd").describe()
+    assert "1400.0 MB/s" in text and "600.0 MB/s" in text

@@ -1,0 +1,42 @@
+"""Unit tests for size parsing and formatting."""
+
+import pytest
+
+from repro.memory.units import (GB, GiB, KB, KiB, MB, MiB, fmt_bandwidth,
+                                fmt_bytes, parse_size)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("0", 0),
+    ("123", 123),
+    ("123b", 123),
+    ("1k", KB),
+    ("1KB", KB),
+    ("2MB", 2 * MB),
+    ("2 mb", 2 * MB),
+    ("1.5GB", int(1.5 * GB)),
+    ("1KiB", KiB),
+    ("512MiB", 512 * MiB),
+    ("2GiB", 2 * GiB),
+])
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "-1KB", "1XB"])
+def test_parse_size_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(0) == "0 B"
+    assert fmt_bytes(999) == "999 B"
+    assert fmt_bytes(1_540_000) == "1.54 MB"
+    assert fmt_bytes(2 * GB) == "2.00 GB"
+    assert fmt_bytes(-KB) == "-1.00 KB"
+
+
+def test_fmt_bandwidth():
+    assert fmt_bandwidth(1400 * MB) == "1400.0 MB/s"
+    assert fmt_bandwidth(20 * GB) == "20.0 GB/s"

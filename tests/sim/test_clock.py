@@ -1,0 +1,54 @@
+"""Unit tests for the virtual clock."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_advance_to_moves_forward():
+    c = VirtualClock()
+    c.advance_to(1.5)
+    assert c.now == 1.5
+    c.advance_to(1.5)  # no-op is allowed
+    assert c.now == 1.5
+
+
+def test_advance_by_accumulates():
+    c = VirtualClock()
+    c.advance_by(0.25)
+    c.advance_by(0.75)
+    assert c.now == pytest.approx(1.0)
+
+
+def test_advance_backwards_rejected():
+    c = VirtualClock()
+    c.advance_to(2.0)
+    with pytest.raises(SimulationError):
+        c.advance_to(1.0)
+
+
+def test_negative_delta_rejected():
+    c = VirtualClock()
+    with pytest.raises(SimulationError):
+        c.advance_by(-0.1)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_non_finite_rejected(bad):
+    c = VirtualClock()
+    with pytest.raises(SimulationError):
+        c.advance_to(bad)
+
+
+def test_reset_returns_to_zero():
+    c = VirtualClock()
+    c.advance_to(10.0)
+    c.reset()
+    assert c.now == 0.0

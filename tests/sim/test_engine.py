@@ -1,0 +1,81 @@
+"""Unit tests for the event-driven simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+
+
+def test_events_run_in_time_order():
+    eng = SimEngine()
+    seen = []
+    eng.schedule(2.0, lambda: seen.append("b"))
+    eng.schedule(1.0, lambda: seen.append("a"))
+    eng.schedule(3.0, lambda: seen.append("c"))
+    assert eng.run() == 3
+    assert seen == ["a", "b", "c"]
+    assert eng.now == pytest.approx(3.0)
+
+
+def test_ties_break_by_insertion_order():
+    eng = SimEngine()
+    seen = []
+    for tag in "abc":
+        eng.schedule(1.0, lambda t=tag: seen.append(t))
+    eng.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_events_can_schedule_events():
+    eng = SimEngine()
+    seen = []
+
+    def first():
+        seen.append(("first", eng.now))
+        eng.schedule(0.5, lambda: seen.append(("second", eng.now)))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert seen == [("first", 1.0), ("second", 1.5)]
+
+
+def test_run_until_leaves_future_events():
+    eng = SimEngine()
+    seen = []
+    eng.schedule(1.0, lambda: seen.append(1))
+    eng.schedule(5.0, lambda: seen.append(5))
+    eng.run(until=2.0)
+    assert seen == [1]
+    assert eng.pending == 1
+    eng.run()
+    assert seen == [1, 5]
+
+
+def test_negative_delay_rejected():
+    eng = SimEngine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    eng = SimEngine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_event_budget_guards_feedback_loops():
+    eng = SimEngine()
+
+    def loop():
+        eng.schedule(0.0, loop)
+
+    eng.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    eng = SimEngine()
+    assert eng.step() is False

@@ -1,0 +1,79 @@
+"""Unit tests for tree validation."""
+
+import pytest
+
+from repro.compute.cpu import make_cpu_steamroller
+from repro.compute.gpu import make_gpu_apu
+from repro.errors import TopologyError
+from repro.memory.catalog import make_device
+from repro.topology.tree import TopologyTree
+from repro.topology.validate import validate_tree
+
+
+def valid_tree():
+    tree = TopologyTree()
+    root = tree.add_node(make_device("ssd", instance="s"))
+    tree.add_node(make_device("dram", instance="d"), parent=root,
+                  processors=[make_gpu_apu()])
+    return tree
+
+
+def test_valid_tree_passes():
+    validate_tree(valid_tree())
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(TopologyError, match="empty"):
+        validate_tree(TopologyTree())
+
+
+def test_leaf_without_processor_rejected():
+    tree = TopologyTree()
+    root = tree.add_node(make_device("ssd", instance="s"))
+    tree.add_node(make_device("dram", instance="d"), parent=root)
+    with pytest.raises(TopologyError, match="no\\s+processor"):
+        validate_tree(tree)
+    validate_tree(tree, require_leaf_processors=False)
+
+
+def test_duplicate_processor_names_rejected():
+    tree = TopologyTree()
+    root = tree.add_node(make_device("ssd", instance="s"))
+    tree.add_node(make_device("dram", instance="d"), parent=root,
+                  processors=[make_gpu_apu(name="x"),
+                              make_cpu_steamroller(name="x")])
+    with pytest.raises(TopologyError, match="duplicate processor"):
+        validate_tree(tree)
+
+
+def test_duplicate_device_instances_rejected():
+    tree = TopologyTree()
+    root = tree.add_node(make_device("ssd", instance="same"))
+    tree.add_node(make_device("dram", instance="same"), parent=root,
+                  processors=[make_gpu_apu()])
+    with pytest.raises(TopologyError, match="duplicate device"):
+        validate_tree(tree)
+
+
+def test_corrupted_parent_pointer_detected():
+    tree = valid_tree()
+    (leaf,) = tree.leaves()
+    leaf.parent = leaf  # corrupt it
+    with pytest.raises(TopologyError):
+        validate_tree(tree)
+
+
+def test_corrupted_level_detected():
+    tree = valid_tree()
+    (leaf,) = tree.leaves()
+    leaf.level = 5
+    with pytest.raises(TopologyError, match="level"):
+        validate_tree(tree)
+
+
+def test_missing_link_detected():
+    tree = valid_tree()
+    (leaf,) = tree.leaves()
+    leaf.uplink = None
+    with pytest.raises(TopologyError, match="no link"):
+        validate_tree(tree)

@@ -1,0 +1,106 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import System
+from repro.errors import ConfigError
+from repro.memory.units import MB
+from repro.topology.builders import apu_two_level
+from repro.workloads.matrices import load_array, random_dense
+from repro.workloads.sparse import (banded, powerlaw_rows, preset,
+                                    preset_names, uniform_random)
+from repro.workloads.thermal import AMBIENT, initial_temperature, power_grid
+
+
+def test_random_dense_deterministic_and_bounded():
+    a = random_dense(16, 8, seed=7)
+    b = random_dense(16, 8, seed=7)
+    np.testing.assert_array_equal(a, b)
+    assert a.dtype == np.float32
+    assert np.abs(a).max() <= 1.0
+    assert not np.array_equal(a, random_dense(16, 8, seed=8))
+    with pytest.raises(ConfigError):
+        random_dense(0, 4, seed=1)
+
+
+def test_load_array_places_data():
+    sys_ = System(apu_two_level(storage_capacity=16 * MB,
+                                staging_bytes=4 * MB))
+    try:
+        arr = random_dense(32, 32, seed=1)
+        h = load_array(sys_, arr, sys_.tree.root, label="A")
+        np.testing.assert_array_equal(sys_.fetch(h, np.float32, shape=(32, 32)),
+                                      arr)
+        assert sys_.tree.root.used >= arr.nbytes
+        # Loading is untimed apart from the alloc setup charge.
+        assert sys_.breakdown().io == 0.0
+    finally:
+        sys_.close()
+
+
+def test_initial_temperature_near_ambient():
+    t = initial_temperature(32, 32, seed=3)
+    assert t.dtype == np.float32
+    assert (t >= AMBIENT).all() and (t <= AMBIENT + 10).all()
+    with pytest.raises(ConfigError):
+        initial_temperature(0, 1, seed=0)
+
+
+def test_power_grid_has_hot_blocks():
+    p = power_grid(64, 64, seed=3, hot_blocks=4, peak=2.0)
+    assert p.min() >= 0
+    assert p.max() > 0.5  # hot blocks dominate the background
+    flat = power_grid(64, 64, seed=3, hot_blocks=0)
+    assert flat.max() < 0.05
+    with pytest.raises(ConfigError):
+        power_grid(8, 8, seed=0, hot_blocks=-1)
+
+
+def test_uniform_random_row_lengths():
+    m = uniform_random(200, 100, nnz_per_row=8, seed=5)
+    lens = m.row_nnz()
+    assert m.nrows == 200 and m.ncols == 100
+    assert lens.min() >= 4 and lens.max() <= 12
+    m.validate()
+
+
+def test_banded_structure():
+    m = banded(50, bandwidth=2)
+    m.validate()
+    assert m.nrows == m.ncols == 50
+    assert m.row_nnz().max() == 5
+    # Interior row r touches exactly [r-2, r+2].
+    lo, hi = m.row_ptr[10], m.row_ptr[11]
+    np.testing.assert_array_equal(np.sort(m.col_id[lo:hi]),
+                                  np.arange(8, 13))
+
+
+def test_powerlaw_rows_skew():
+    m = powerlaw_rows(2000, 2000, alpha=1.6, max_row=256, seed=2)
+    m.validate()
+    lens = m.row_nnz()
+    assert np.median(lens) <= 4
+    assert lens.max() > 32  # heavy tail present
+    with pytest.raises(ConfigError):
+        powerlaw_rows(10, 10, alpha=1.0)
+
+
+def test_presets():
+    assert preset_names() == ["circuit-like", "stencil-like", "webgraph-like"]
+    for name in preset_names():
+        m = preset(name, nrows=256, seed=1)
+        m.validate()
+        assert m.nrows == 256
+    with pytest.raises(ConfigError):
+        preset("florida-actual")
+    with pytest.raises(ConfigError):
+        preset("circuit-like", nrows=4)
+
+
+def test_preset_determinism():
+    a = preset("webgraph-like", nrows=128, seed=9)
+    b = preset("webgraph-like", nrows=128, seed=9)
+    np.testing.assert_array_equal(a.row_ptr, b.row_ptr)
+    np.testing.assert_array_equal(a.col_id, b.col_id)
+    np.testing.assert_array_equal(a.data, b.data)
