@@ -10,8 +10,12 @@ Two paper optimisations are implemented and individually switchable
 (the ablation benches exercise them):
 
 * **row-shard reuse** ("the row shard m can stay in the l+1 level and
-  the program just iteratively loads column shards"): A-tiles of the
-  current row strip are cached at the child across the j loop;
+  the program just iteratively loads column shards"): A-tiles are
+  fetched through the child node's buffer cache
+  (:meth:`repro.core.system.System.fetch_down`), so the tiles of the
+  current row strip hit across the j loop -- the runtime now provides
+  centrally what this app used to hand-roll with a per-child dict of
+  handles;
 * **pipelining**: B tiles come from a depth-``pipeline_depth`` buffer
   pool, so the next column shard's load overlaps the current kernel.
 
@@ -29,11 +33,12 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.cache.spec import FetchSpec
 from repro.compute.kernels.gemm import gemm_cost
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
 from repro.core.context import ExecutionContext
-from repro.core.decomposition import ceil_div
+from repro.core.decomposition import ceil_div, window2d
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import CapacityError, ConfigError
@@ -174,11 +179,10 @@ class GemmChunk:
 
 @dataclass
 class _ChildState:
-    """Per-child caches and pools (chunks spread over sibling subtrees
-    keep independent state on each)."""
+    """Per-child pools (chunks spread over sibling subtrees keep
+    independent state on each).  A-tile residency is no longer tracked
+    here: the node's buffer cache holds it."""
 
-    a_cache: dict[int, BufferHandle] = field(default_factory=dict)
-    a_cache_row: int = -1
     b_pool: list[BufferHandle] = field(default_factory=list)
     b_next: int = 0
     c_current: BufferHandle | None = None
@@ -209,7 +213,10 @@ class GemmApp(NorthupProgram):
     pipeline_depth:
         Buffer sets for streamed tiles (1 disables the overlap).
     reuse_row_shard:
-        The Section IV-A reuse optimisation (ablation switch).
+        Prefer the Section IV-A full-k row-strip tiling when planning
+        tiles.  Whether repeated A windows actually hit is decided by
+        the system's cache config (``CacheConfig.disabled()`` recovers
+        the no-reuse behaviour for the ablation).
     """
 
     def __init__(self, system: System, *, m: int, k: int, n: int,
@@ -240,9 +247,11 @@ class GemmApp(NorthupProgram):
     def decompose(self, ctx: ExecutionContext) -> Iterable[GemmChunk]:
         lv: GemmLevel = ctx.payload
         # Chunks may spread over every child; tiles must fit the
-        # tightest of them.
-        budget = int(min(c.free for c in ctx.node.children)
-                     * CAPACITY_SAFETY)
+        # tightest of them.  Plan against free-plus-reclaimable so cache
+        # residency never shrinks the tiles (repeat runs pick the same
+        # tiles and therefore hit).
+        budget = int(min(ctx.system.free_for_planning(c)
+                         for c in ctx.node.children) * CAPACITY_SAFETY)
         if self.force_tiles is not None:
             tiles = GemmTiles(tm=min(self.force_tiles.tm, lv.m),
                               tn=min(self.force_tiles.tn, lv.n),
@@ -283,29 +292,14 @@ class GemmApp(NorthupProgram):
 
     def setup_buffers(self, ctx: ExecutionContext, child: TreeNode,
                       chunk: GemmChunk) -> dict:
-        sys_, lv = ctx.system, ctx.payload
+        sys_ = ctx.system
         plan: _LevelPlan = ctx.scratch["plan"]
         state = plan.state(child.node_id)
         payload: dict = {}
 
-        # A tile: cached per row strip when reuse is on.
-        if plan.tiles.reuse:
-            if state.a_cache_row != chunk.i:
-                for h in state.a_cache.values():
-                    sys_.release(h)
-                state.a_cache.clear()
-                state.a_cache_row = chunk.i
-            a = state.a_cache.get(chunk.p)
-            payload["a_fresh"] = a is None
-            if a is None:
-                a = sys_.alloc(chunk.rows * chunk.kk * plan.elem, child,
-                               label=f"A[{chunk.i},{chunk.p}]")
-                state.a_cache[chunk.p] = a
-        else:
-            a = sys_.alloc(chunk.rows * chunk.kk * plan.elem, child,
-                           label=f"A[{chunk.i},{chunk.p}]")
-            payload["a_fresh"] = True
-            payload["a_owned"] = True
+        # The A tile arrives in data_down via fetch_down: the child
+        # node's buffer cache keeps the current row strip resident
+        # across the j loop (Section IV-A's reuse, now runtime-provided).
 
         # B tile: round-robin pool (pipelining).
         if not state.b_pool:
@@ -323,7 +317,7 @@ class GemmApp(NorthupProgram):
                                          label=f"C[{chunk.i},{chunk.j}]")
             payload["c_fresh"] = True
         c = state.c_current
-        payload.update(a=a, b=b, c=c)
+        payload.update(b=b, c=c)
         return payload
 
     def data_down(self, ctx: ExecutionContext,
@@ -331,13 +325,12 @@ class GemmApp(NorthupProgram):
         sys_, lv = ctx.system, ctx.payload
         pay = child_ctx.payload
         elem = self.elem
-        if pay.get("a_fresh"):
-            sys_.move_2d(pay["a"], lv.a, rows=chunk.rows,
-                         row_bytes=chunk.kk * elem,
-                         src_offset=(chunk.row0 * lv.k + chunk.k0) * elem,
-                         src_stride=lv.k * elem,
-                         dst_offset=0, dst_stride=chunk.kk * elem,
-                         label="A down")
+        offset, rows, row_bytes, stride = window2d(
+            chunk.row0, chunk.rows, chunk.k0, chunk.kk, lv.k, elem)
+        pay["a"] = sys_.fetch_down(
+            child_ctx.node, lv.a, rows=rows, row_bytes=row_bytes,
+            src_offset=offset, src_stride=stride,
+            label=f"A[{chunk.i},{chunk.p}]")
         sys_.move_2d(pay["b"], lv.b, rows=chunk.kk,
                      row_bytes=chunk.cols * elem,
                      src_offset=(chunk.k0 * lv.n + chunk.col0) * elem,
@@ -397,8 +390,7 @@ class GemmApp(NorthupProgram):
         plan: _LevelPlan = ctx.scratch["plan"]
         state = plan.state(child_ctx.node.node_id)
         pay = child_ctx.scratch["raw_payload"]
-        if pay.get("a_owned"):
-            sys_.release(pay["a"])
+        sys_.fetch_release(pay["a"])
         if chunk.last_p:
             sys_.release(state.c_current)
             state.c_current = None
@@ -408,12 +400,31 @@ class GemmApp(NorthupProgram):
         if plan is None:
             return
         for state in plan.states.values():
-            for h in state.a_cache.values():
-                ctx.system.release(h)
-            state.a_cache.clear()
             for h in state.b_pool:
                 ctx.system.release(h)
             state.b_pool.clear()
+
+    def prefetch_hints(self, ctx: ExecutionContext, chunks) -> list[tuple]:
+        """Each chunk's A and B windows, in loop order (full-mode cache
+        only; the Belady oracle and the lookahead fetcher consume it)."""
+        lv: GemmLevel = ctx.payload
+        plan: _LevelPlan = ctx.scratch["plan"]
+        children = ctx.node.children
+        hints = []
+        for chunk in chunks:
+            child = children[(chunk.i * plan.tiles_n + chunk.j)
+                             % len(children)]
+            a_off, a_rows, a_rb, a_stride = window2d(
+                chunk.row0, chunk.rows, chunk.k0, chunk.kk, lv.k, self.elem)
+            hints.append((child, FetchSpec.strided(
+                lv.a, offset=a_off, rows=a_rows, row_bytes=a_rb,
+                stride=a_stride)))
+            b_off, b_rows, b_rb, b_stride = window2d(
+                chunk.k0, chunk.kk, chunk.col0, chunk.cols, lv.n, self.elem)
+            hints.append((child, FetchSpec.strided(
+                lv.b, offset=b_off, rows=b_rows, row_bytes=b_rb,
+                stride=b_stride)))
+        return hints
 
     # -- results ---------------------------------------------------------
 

@@ -22,13 +22,14 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.cache.spec import FetchSpec
 from repro.compute.kernels.hotspot import (ChipEdges, HotspotParams,
                                            default_params, hotspot_cost,
                                            hotspot_multistep, pad_grid)
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
 from repro.core.context import ExecutionContext, root_context
-from repro.core.decomposition import Grid2D
+from repro.core.decomposition import Grid2D, window2d
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import CapacityError, ConfigError
@@ -117,11 +118,16 @@ class HotspotApp(NorthupProgram):
         ``iterations``.
     pipeline_depth:
         Buffer sets per level for load/compute overlap.
+    force_tile:
+        Override the automatic (largest-fitting) tile edge.  Smaller
+        tiles leave headroom the buffer cache can use to keep the power
+        blocks resident across passes; the cache-policy ablation relies
+        on this.
     """
 
     def __init__(self, system: System, *, n: int, iterations: int = 1,
                  steps_per_pass: int = 1, pipeline_depth: int = 2,
-                 seed: int = 0,
+                 seed: int = 0, force_tile: int | None = None,
                  params: HotspotParams | None = None) -> None:
         if n < 4:
             raise ConfigError(f"grid edge must be >= 4, got {n}")
@@ -131,11 +137,14 @@ class HotspotApp(NorthupProgram):
             raise ConfigError(
                 f"steps_per_pass ({steps_per_pass}) must divide "
                 f"iterations ({iterations})")
+        if force_tile is not None and force_tile < 1:
+            raise ConfigError(f"force_tile must be >= 1, got {force_tile}")
         self.system = system
         self.n = n
         self.iterations = iterations
         self.halo = steps_per_pass
         self.pipeline_depth = pipeline_depth
+        self.force_tile = force_tile
         self.params = params if params is not None else default_params(n, n)
         self.temp0 = initial_temperature(n, n, seed=seed)
         self.power_np = power_grid(n, n, seed=seed + 1)
@@ -160,15 +169,19 @@ class HotspotApp(NorthupProgram):
         next pass's input)."""
         ctx = root_context(system)
         passes = self.iterations // self.halo
-        for _ in range(passes):
-            self._stage_padded_input(ctx)
-            ctx.payload = HotspotLevel(
-                t_pad=self.t_pad_root, p_pad=self.p_pad_root,
-                out=self.out_root, rows=self.n, cols=self.n,
-                halo=self.halo, edges=ChipEdges.whole_chip())
-            self.recurse(ctx)
-            self._current_temp = self.system.fetch(
-                self.out_root, np.float32, shape=(self.n, self.n))
+        try:
+            for _ in range(passes):
+                self._stage_padded_input(ctx)
+                ctx.payload = HotspotLevel(
+                    t_pad=self.t_pad_root, p_pad=self.p_pad_root,
+                    out=self.out_root, rows=self.n, cols=self.n,
+                    halo=self.halo, edges=ChipEdges.whole_chip())
+                self.recurse(ctx)
+                system.cache.flush_all()
+                self._current_temp = self.system.fetch(
+                    self.out_root, np.float32, shape=(self.n, self.n))
+        finally:
+            system.cache.end_run()
         return ctx
 
     def _stage_padded_input(self, ctx: ExecutionContext) -> None:
@@ -198,11 +211,17 @@ class HotspotApp(NorthupProgram):
 
     def decompose(self, ctx: ExecutionContext) -> Iterable:
         lv: HotspotLevel = ctx.payload
-        budget = int(min(c.free for c in ctx.node.children)
-                     * CAPACITY_SAFETY)
-        tile = choose_hotspot_tile(lv.rows, lv.cols, halo=lv.halo,
-                                   depth=self.pipeline_depth,
-                                   budget_bytes=budget, elem_size=self.elem)
+        # Plan against cache-reclaimable capacity so resident cache
+        # blocks never change the tile choice between passes.
+        budget = int(min(ctx.system.free_for_planning(c)
+                         for c in ctx.node.children) * CAPACITY_SAFETY)
+        if self.force_tile is not None:
+            tile = min(self.force_tile, lv.rows, lv.cols)
+        else:
+            tile = choose_hotspot_tile(lv.rows, lv.cols, halo=lv.halo,
+                                       depth=self.pipeline_depth,
+                                       budget_bytes=budget,
+                                       elem_size=self.elem)
         grid = Grid2D(nrows=lv.rows, ncols=lv.cols, chunk_rows=tile,
                       chunk_cols=tile)
         ctx.scratch["plan"] = _PassPlan(tile=tile, tiles_n=grid.tiles_n)
@@ -234,22 +253,28 @@ class HotspotApp(NorthupProgram):
         pool.next_set += 1
         return dict(bufs)
 
+    def _block_window(self, lv: HotspotLevel, chunk) -> tuple:
+        """The halo-padded source window of a block in the parent's
+        padded grid -- the block plus its ghost zone, which in padded
+        coordinates starts exactly at ``(row0, col0)``."""
+        h = lv.halo
+        return window2d(chunk.row0, chunk.rows + 2 * h,
+                        chunk.col0, chunk.cols + 2 * h,
+                        lv.cols + 2 * h, self.elem)
+
     def data_down(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
                   chunk) -> None:
         sys_ = ctx.system
         lv: HotspotLevel = ctx.payload
         pay = child_ctx.payload
-        h, elem = lv.halo, self.elem
-        prow = chunk.rows + 2 * h
-        pcol = chunk.cols + 2 * h
-        parent_pcols = lv.cols + 2 * h
-        src_off = (chunk.row0 * parent_pcols + chunk.col0) * elem
+        h = lv.halo
+        src_off, prow, row_bytes, src_stride = self._block_window(lv, chunk)
         for name, parent in (("t", lv.t_pad), ("p", lv.p_pad)):
             sys_.move_2d(pay[name], parent, rows=prow,
-                         row_bytes=pcol * elem,
+                         row_bytes=row_bytes,
                          src_offset=src_off,
-                         src_stride=parent_pcols * elem,
-                         dst_offset=0, dst_stride=pcol * elem,
+                         src_stride=src_stride,
+                         dst_offset=0, dst_stride=row_bytes,
                          label=f"{name} block down")
         sub_edges = lv.edges.intersect(ChipEdges.of_block(
             chunk.row0, chunk.row1, chunk.col0, chunk.col1,
@@ -258,6 +283,25 @@ class HotspotApp(NorthupProgram):
             t_pad=pay["t"], p_pad=pay["p"], out=pay["o"],
             rows=chunk.rows, cols=chunk.cols, halo=h, edges=sub_edges)
         child_ctx.scratch["raw_payload"] = pay
+
+    def prefetch_hints(self, ctx: ExecutionContext, chunks) -> Iterable:
+        """Upcoming padded-block windows, in chunk order: for each block
+        the temperature window (restaged every pass, so usually a miss)
+        and the power window (immutable across passes, so a repeat
+        customer for the cache)."""
+        lv: HotspotLevel = ctx.payload
+        plan: _PassPlan = ctx.scratch["plan"]
+        children = ctx.node.children
+        hints = []
+        for chunk in chunks:
+            child = children[(chunk.m * plan.tiles_n + chunk.n)
+                             % len(children)]
+            off, prow, row_bytes, stride = self._block_window(lv, chunk)
+            for parent in (lv.t_pad, lv.p_pad):
+                hints.append((child, FetchSpec.strided(
+                    parent, offset=off, rows=prow, row_bytes=row_bytes,
+                    stride=stride)))
+        return hints
 
     def compute_task(self, ctx: ExecutionContext) -> None:
         lv: HotspotLevel = ctx.payload

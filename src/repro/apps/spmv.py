@@ -22,11 +22,12 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.cache.spec import FetchSpec
 from repro.compute.kernels.spmv import (CSRMatrix, bin_rows, binning_cost,
                                         spmv_adaptive, spmv_cost)
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
-from repro.core.context import ExecutionContext
+from repro.core.context import ExecutionContext, root_context
 from repro.core.decomposition import Range1D, split_rows_by_nnz
 from repro.core.program import NorthupProgram
 from repro.core.system import System
@@ -66,19 +67,28 @@ class SpmvApp(NorthupProgram):
         The input CSR matrix (see :mod:`repro.workloads.sparse`).
     block_nnz:
         CSR-Adaptive bin size at the leaf.
+    iterations:
+        Matvec sweeps to run (matrix and x unchanged, as in an
+        iterative solver's inner loop).  Every sweep re-streams the same
+        CSR shards from the root -- the cyclic access pattern the buffer
+        cache's policies differ most on.
     """
 
     def __init__(self, system: System, *, matrix: CSRMatrix,
                  seed: int = 0, block_nnz: int = 1024,
-                 shard_strategy: str = "nnz") -> None:
+                 shard_strategy: str = "nnz", iterations: int = 1) -> None:
         if shard_strategy not in ("nnz", "rows"):
             raise ConfigError(
                 f"shard_strategy must be 'nnz' or 'rows', got "
                 f"{shard_strategy!r}")
+        if iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {iterations}")
         self.system = system
         self.csr = matrix
         self.block_nnz = block_nnz
         self.shard_strategy = shard_strategy
+        self.iterations = iterations
+        self._iteration = 0
         rng = np.random.default_rng(seed)
         self.x_np = (2.0 * rng.random(matrix.ncols) - 1.0).astype(np.float32)
 
@@ -98,6 +108,26 @@ class SpmvApp(NorthupProgram):
         system.preload(self.x_root, self.x_np)
         self._x_by_node: dict[int, BufferHandle] = {
             root.node_id: self.x_root}
+
+    # -- sweep loop --------------------------------------------------------
+
+    def run(self, system: System) -> ExecutionContext:
+        """Execute ``iterations`` sweeps of y = A x.  The operands never
+        change, so each sweep recomputes the identical y; what differs
+        is the data movement -- with a transparent cache, shards left
+        resident by one sweep are served locally in the next."""
+        ctx = root_context(system)
+        try:
+            self.before_run(ctx)
+            root_payload = ctx.payload
+            for it in range(self.iterations):
+                self._iteration = it
+                ctx.payload = root_payload
+                self.recurse(ctx)
+            self.after_run(ctx)
+        finally:
+            system.cache.end_run()
+        return ctx
 
     # -- x replication -----------------------------------------------------
 
@@ -124,8 +154,10 @@ class SpmvApp(NorthupProgram):
 
     def decompose(self, ctx: ExecutionContext) -> Iterable[Range1D]:
         lv: SpmvLevel = ctx.payload
-        budget = int(min(c.free for c in ctx.node.children)
-                     * CAPACITY_SAFETY)
+        # Cache-resident bytes count as free: shard sizing must not
+        # drift between sweeps as blocks accumulate.
+        budget = int(min(ctx.system.free_for_planning(c)
+                         for c in ctx.node.children) * CAPACITY_SAFETY)
         if budget <= 0:
             raise CapacityError(
                 f"children of node {ctx.node.node_id} have no free "
@@ -189,6 +221,29 @@ class SpmvApp(NorthupProgram):
             x=self._x_by_node[child_ctx.node.node_id], y=pay["y"],
             row_ptr_np=local_ptr, nrows=rows, nnz=nnz)
         child_ctx.scratch["raw_payload"] = pay
+
+    def prefetch_hints(self, ctx: ExecutionContext, chunks) -> Iterable:
+        """The shard slices of this sweep and of every remaining sweep,
+        in access order.  Folding the later sweeps in lets the Belady
+        oracle see that a shard evicted mid-sweep comes straight back
+        next sweep -- the cyclic pattern plain LRU is worst at."""
+        if not ctx.node.is_root:
+            return None
+        lv: SpmvLevel = ctx.payload
+        children = ctx.node.children
+        sweep = []
+        for shard in chunks:
+            child = children[shard.index % len(children)]
+            lo = int(lv.row_ptr_np[shard.start])
+            nnz = int(lv.row_ptr_np[shard.stop]) - lo
+            sweep.append((child, FetchSpec.contiguous(
+                lv.row_ptr, shard.start * 8, (shard.size + 1) * 8)))
+            if nnz:
+                sweep.append((child, FetchSpec.contiguous(
+                    lv.col_id, lo * 4, nnz * 4)))
+                sweep.append((child, FetchSpec.contiguous(
+                    lv.data, lo * 4, nnz * 4)))
+        return sweep * (self.iterations - self._iteration)
 
     def compute_task(self, ctx: ExecutionContext) -> None:
         lv: SpmvLevel = ctx.payload

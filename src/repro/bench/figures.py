@@ -307,29 +307,34 @@ def ablation_gemm_reuse(
         scale: configs.WorkloadScale = configs.DEFAULT_SCALE) -> list[AblationRow]:
     """Row-shard reuse on/off (the Section IV-A optimisation).
 
+    Since the reuse moved from the app into the runtime's buffer cache,
+    the switch is the system's cache config: "reuse" runs the default
+    (explicit-fetch caching), "no-reuse" disables caching entirely.
     Tile shape is held fixed across the two variants so the comparison
     isolates the caching itself, not the chooser's different plans.
     """
     from repro.apps.gemm import GemmTiles, choose_gemm_tiles
+    from repro.cache.manager import CacheConfig
     from repro.sim.trace import Phase
     n = scale.gemm_n
     chosen = choose_gemm_tiles(
         n, n, n, elem_size=4,
         budget_bytes=int(configs.STAGING_BYTES * 0.9), depth=2,
         prefer_reuse=True)
+    tiles = GemmTiles(tm=chosen.tm, tn=chosen.tn, tk=chosen.tk, reuse=True)
     rows = []
-    for reuse in (True, False):
-        system = System(_apu_tree_for("gemm", "ssd"))
+    for cached in (True, False):
+        system = System(_apu_tree_for("gemm", "ssd"),
+                        cache=CacheConfig() if cached
+                        else CacheConfig.disabled())
         try:
             app = GemmApp(system, m=n, k=n, n=n, seed=scale.seed,
-                          reuse_row_shard=reuse,
-                          force_tiles=GemmTiles(tm=chosen.tm, tn=chosen.tn,
-                                                tk=chosen.tk, reuse=reuse))
+                          force_tiles=tiles)
             app.run(system)
             bd = system.breakdown()
             rows.append(AblationRow(
                 name="gemm-row-shard-reuse",
-                variant="reuse" if reuse else "no-reuse",
+                variant="reuse" if cached else "no-reuse",
                 makespan=system.makespan(),
                 io_read_bytes=bd.bytes_by_phase.get(Phase.IO_READ, 0)))
         finally:
@@ -378,6 +383,100 @@ def ablation_hotspot_fusion(
                 io_read_bytes=bd.bytes_by_phase.get(Phase.IO_READ, 0)))
         finally:
             system.close()
+    return rows
+
+
+@dataclass
+class CachePolicyRow:
+    """One (app, cache-variant) cell of the cache-policy ablation."""
+
+    app: str
+    variant: str
+    makespan: float
+    io_read_bytes: int
+    hits: int
+    misses: int
+    evictions: int
+    prefetch_used: int
+    identical: bool
+
+
+def ablation_cache_policies(
+        scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
+        variants: tuple[str, ...] = ("off", "lru", "cost", "oracle"),
+) -> list[CachePolicyRow]:
+    """Buffer-cache policy ablation on the Figure 6 applications.
+
+    Each app runs uncached and then under each eviction policy with the
+    transparent ("full") cache; results must stay bit-identical to the
+    uncached run.  The workloads are sized so the cache matters:
+
+    * GEMM reuses its row shard across column tiles (the Section IV-A
+      pattern, now owned by the cache);
+    * HotSpot re-stages the read-only power grid every pass, with the
+      tile forced below the auto-chooser's pick so the staging level has
+      cache headroom;
+    * SpMV sweeps its CSR shards cyclically through a cache smaller than
+      the working set -- the access pattern where LRU evicts each block
+      just before reuse and only the Belady oracle retains a prefix.
+    """
+    from repro.cache.manager import CacheConfig
+    from repro.memory.units import KB, MB
+    from repro.sim.trace import Phase
+    from repro.topology.builders import apu_two_level
+    from repro.workloads.sparse import uniform_random
+
+    def cfg_for(variant: str) -> CacheConfig:
+        if variant == "off":
+            return CacheConfig.disabled()
+        return CacheConfig(mode="full", policy=variant)
+
+    def run(app_name: str, variant: str) -> tuple[np.ndarray, CachePolicyRow]:
+        if app_name == "gemm":
+            system = System(_apu_tree_for("gemm", "ssd"),
+                            cache=cfg_for(variant))
+        elif app_name == "hotspot":
+            system = System(apu_two_level(storage_capacity=8 * MB,
+                                          staging_bytes=2 * MB),
+                            cache=cfg_for(variant))
+        else:
+            system = System(apu_two_level(storage_capacity=16 * MB,
+                                          staging_bytes=512 * KB),
+                            cache=cfg_for(variant))
+        try:
+            if app_name == "gemm":
+                n = scale.gemm_n
+                app = GemmApp(system, m=n, k=n, n=n, seed=scale.seed)
+            elif app_name == "hotspot":
+                app = HotspotApp(system, n=256, iterations=8,
+                                 steps_per_pass=4, force_tile=128,
+                                 seed=scale.seed)
+            else:
+                matrix = uniform_random(8000, 8000, nnz_per_row=16, seed=7)
+                app = SpmvApp(system, matrix=matrix, seed=scale.seed,
+                              iterations=3)
+            app.run(system)
+            st = system.cache.total_stats()
+            bd = system.breakdown()
+            row = CachePolicyRow(
+                app=app_name, variant=variant,
+                makespan=system.makespan(),
+                io_read_bytes=bd.bytes_by_phase.get(Phase.IO_READ, 0),
+                hits=st.hits, misses=st.misses, evictions=st.evictions,
+                prefetch_used=st.prefetch_used, identical=False)
+            return app.result(), row
+        finally:
+            system.close()
+
+    rows = []
+    for app_name in APPS:
+        baseline = None
+        for variant in variants:
+            result, row = run(app_name, variant)
+            if baseline is None:
+                baseline = result
+            row.identical = bool(np.array_equal(result, baseline))
+            rows.append(row)
     return rows
 
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.bench.figures import (AblationRow, BreakdownRow, Fig6Row,
-                                 Fig9Series, Fig11Row, OverheadRow)
+from repro.bench.figures import (AblationRow, BreakdownRow, CachePolicyRow,
+                                 Fig6Row, Fig9Series, Fig11Row, OverheadRow)
 
 
 def _table(header: list[str], rows: list[list[str]], title: str) -> str:
@@ -85,6 +85,29 @@ def format_overhead(rows: list[OverheadRow]) -> str:
     return _table(["app", "runtime overhead", "runtime ops"], body,
                   "Section V-B: Northup runtime bookkeeping overhead "
                   "(paper: < 1%)")
+
+
+def format_cache_policies(rows: list[CachePolicyRow]) -> str:
+    """The buffer-cache policy ablation, normalized per app."""
+    base = {r.app: r.makespan for r in rows if r.variant == "off"}
+    body = []
+    for r in rows:
+        gain = 1.0 - r.makespan / base[r.app]
+        body.append([
+            r.app, r.variant, f"{r.makespan * 1e3:.2f} ms",
+            f"{gain:+.1%}" if r.variant != "off" else "-",
+            f"{r.io_read_bytes / 1e6:.1f} MB",
+            f"{r.hits}/{r.misses}" if r.variant != "off" else "-",
+            str(r.evictions) if r.variant != "off" else "-",
+            str(r.prefetch_used) if r.variant != "off" else "-",
+            "yes" if r.identical else "NO",
+        ])
+    return _table(
+        ["app", "cache", "makespan", "gain", "io reads", "hit/miss",
+         "evict", "pf-used", "bit-identical"],
+        body,
+        "Ablation: buffer-cache eviction policy (off / lru / cost-aware "
+        "/ Belady oracle)")
 
 
 def format_ablation(rows: list[AblationRow], title: str) -> str:

@@ -1,0 +1,81 @@
+"""Fetch specifications: the cache's unit of identity.
+
+A :class:`FetchSpec` names one region of a parent-level buffer exactly
+as a ``move_data_down`` would read it: either a contiguous byte range or
+a strided 2-D window.  The spec's :attr:`key` is what the cache indexes
+on, so a transparent consult, an explicit pinned fetch, and a prefetch
+plan entry all agree on what "the same bytes" means -- provided they
+describe the region identically, which the apps guarantee by building
+both their moves and their prefetch hints from one helper
+(:func:`repro.core.decomposition.window2d`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.buffers import BufferHandle
+from repro.errors import TransferError
+
+#: (src buffer id, offset, nbytes, rows, row_bytes, stride) -- rows and
+#: friends are None for contiguous fetches.
+SpecKey = tuple
+
+
+@dataclass(frozen=True)
+class FetchSpec:
+    """One cacheable region of a source buffer.
+
+    ``src`` participates in identity only through its ``buffer_id``;
+    the handle itself rides along so the prefetch engine can move the
+    bytes and check content versions.
+    """
+
+    src: BufferHandle = field(compare=False)
+    offset: int = 0
+    nbytes: int = 0
+    rows: int | None = None
+    row_bytes: int | None = None
+    stride: int | None = None
+
+    @staticmethod
+    def contiguous(src: BufferHandle, offset: int, nbytes: int) -> "FetchSpec":
+        if nbytes < 1 or offset < 0 or offset + nbytes > src.nbytes:
+            raise TransferError(
+                f"fetch spec [{offset}, {offset + nbytes}) outside {src!r}")
+        return FetchSpec(src=src, offset=offset, nbytes=nbytes)
+
+    @staticmethod
+    def strided(src: BufferHandle, *, offset: int, rows: int, row_bytes: int,
+                stride: int) -> "FetchSpec":
+        if rows < 1 or row_bytes < 1 or stride < row_bytes:
+            raise TransferError(
+                f"bad strided spec: rows={rows} row_bytes={row_bytes} "
+                f"stride={stride}")
+        last = offset + (rows - 1) * stride + row_bytes
+        if offset < 0 or last > src.nbytes:
+            raise TransferError(
+                f"strided spec [{offset}..{last}) outside {src!r}")
+        return FetchSpec(src=src, offset=offset, nbytes=rows * row_bytes,
+                         rows=rows, row_bytes=row_bytes, stride=stride)
+
+    @property
+    def key(self) -> SpecKey:
+        return (self.src.buffer_id, self.offset, self.nbytes, self.rows,
+                self.row_bytes, self.stride)
+
+    @property
+    def is_strided(self) -> bool:
+        return self.rows is not None
+
+    def read_payloads(self, device):
+        """Yield (block_offset, payload) pairs reading the region from
+        the source node's device (packed row-major into the block)."""
+        base = self.src.base_offset + self.offset
+        if not self.is_strided:
+            yield 0, device.read(self.src.alloc_id, base, self.nbytes)
+            return
+        for r in range(self.rows):
+            yield (r * self.row_bytes,
+                   device.read(self.src.alloc_id, base + r * self.stride,
+                               self.row_bytes))

@@ -34,12 +34,23 @@ from repro.errors import AllocationError, TransferError
 
 @dataclass
 class BufferTimes:
-    """Virtual-time state shared by every view of one allocation."""
+    """Virtual-time state shared by every view of one allocation.
+
+    ``version`` is a whole-buffer content counter: every write into any
+    view of the allocation bumps it.  The buffer cache records the
+    version it copied from and treats a mismatch as staleness, so a
+    rewritten source (e.g. a restaged HotSpot grid) can never serve a
+    stale hit.  Coarse (whole-buffer) invalidation is conservative but
+    always correct.
+    """
 
     ready_at: float = 0.0
     last_read_end: float = 0.0
+    version: int = 0
 
     def reset(self) -> None:
+        # A time reset is not a content change: ``version`` survives so
+        # cached copies stay valid across measured phases.
         self.ready_at = 0.0
         self.last_read_end = 0.0
 
@@ -89,8 +100,18 @@ class BufferHandle:
     def last_read_end(self) -> float:
         return self.times.last_read_end
 
+    @property
+    def version(self) -> int:
+        return self.times.version
+
     def note_write(self, end: float) -> None:
         self.times.ready_at = max(self.times.ready_at, end)
+        self.times.version += 1
+
+    def bump_version(self) -> None:
+        """Mark the contents changed without touching dependency times
+        (untimed host writes -- :meth:`repro.core.system.System.preload`)."""
+        self.times.version += 1
 
     def note_read(self, end: float) -> None:
         self.times.last_read_end = max(self.times.last_read_end, end)

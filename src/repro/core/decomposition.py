@@ -146,6 +146,27 @@ class Grid2D:
                 yield self.tile(m, n)
 
 
+def window2d(row0: int, rows: int, col0: int, cols: int, parent_cols: int,
+             elem_size: int) -> tuple[int, int, int, int]:
+    """``(offset, rows, row_bytes, stride)`` of a 2-D sub-window of a
+    row-major parent array.
+
+    One helper for both a tile's ``move_2d`` arguments and its cache
+    :class:`~repro.cache.spec.FetchSpec`, so demand moves, prefetch
+    hints and explicit fetches all name the same bytes identically --
+    the cache keys on exactly this tuple.
+    """
+    if rows < 1 or cols < 1 or cols > parent_cols:
+        raise ConfigError(
+            f"bad window: rows={rows} cols={cols} parent_cols={parent_cols}")
+    if row0 < 0 or col0 < 0 or col0 + cols > parent_cols:
+        raise ConfigError(
+            f"window origin ({row0}, {col0}) x {cols} cols escapes a "
+            f"{parent_cols}-column parent")
+    return ((row0 * parent_cols + col0) * elem_size, rows, cols * elem_size,
+            parent_cols * elem_size)
+
+
 def fit_square_tiles(nrows: int, ncols: int, elem_size: int,
                      budget_bytes: int, *, arrays: int = 1,
                      align: int = 1) -> Grid2D:

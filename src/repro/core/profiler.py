@@ -66,6 +66,12 @@ class Breakdown:
         return self.by_phase.get(Phase.RUNTIME, 0.0)
 
     @property
+    def cache(self) -> float:
+        """Buffer-cache bookkeeping (hit/eviction accounting); every
+        second here replaced a much longer transfer."""
+        return self.by_phase.get(Phase.CACHE, 0.0)
+
+    @property
     def busy_total(self) -> float:
         return sum(self.by_phase.values())
 
@@ -75,13 +81,14 @@ class Breakdown:
         total = self.busy_total
         if total == 0:
             return {"cpu": 0.0, "gpu": 0.0, "setup": 0.0, "transfer": 0.0,
-                    "runtime": 0.0}
+                    "runtime": 0.0, "cache": 0.0}
         return {
             "cpu": self.cpu / total,
             "gpu": self.gpu / total,
             "setup": self.setup / total,
             "transfer": self.transfers / total,
             "runtime": self.runtime / total,
+            "cache": self.cache / total,
         }
 
     def runtime_overhead_fraction(self) -> float:
@@ -93,7 +100,8 @@ class Breakdown:
         """Formatted per-category table (seconds and shares)."""
         rows = [("cpu", self.cpu), ("gpu", self.gpu), ("setup", self.setup),
                 ("io", self.io), ("dev_transfer", self.dev_transfer),
-                ("mem_copy", self.mem_copy), ("runtime", self.runtime)]
+                ("mem_copy", self.mem_copy), ("runtime", self.runtime),
+                ("cache", self.cache)]
         total = self.busy_total or 1.0
         lines = []
         if title:

@@ -95,6 +95,20 @@ class NorthupProgram(ABC):
             if not h.released:
                 ctx.system.release(h)
 
+    def prefetch_hints(self, ctx: ExecutionContext,
+                       chunks: list[Any]) -> Iterable[tuple] | None:
+        """Optional: this level's upcoming parent->child region fetches.
+
+        Return ``(child_node, FetchSpec)`` pairs in program order (build
+        the specs with :class:`repro.cache.spec.FetchSpec`, describing
+        regions exactly as the ``data_down`` moves will), or None (the
+        default) for no prefetching.  The plan feeds the prefetch
+        engine's lookahead fetches and the Belady oracle's
+        future-distance ranking; it only takes effect with the cache in
+        "full" mode (prefetching is a transparent-cache feature).
+        """
+        return None
+
     # -- optional lifecycle hooks -------------------------------------------
 
     def before_run(self, ctx: ExecutionContext) -> None:
@@ -133,6 +147,14 @@ class NorthupProgram(ABC):
         chunks = list(self.decompose(ctx))
         tasks = [queue.enqueue(chunk) for chunk in chunks]
         ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
+        if ctx.system.cache.transparent:
+            hints = self.prefetch_hints(ctx, chunks)
+            if hints is not None:
+                planned = ctx.system.cache.engine.plan_level(ctx.node, hints)
+                if planned:
+                    ctx.system.charge_runtime(1, label="prefetch plan")
+                    for task in tasks:
+                        task.mark_prefetched()
         for chunk, task in zip(chunks, tasks):
             child = self.select_child(ctx, chunk)
             if child.parent is not ctx.node:
@@ -153,9 +175,17 @@ class NorthupProgram(ABC):
 
     def run(self, system: System) -> ExecutionContext:
         """Execute the program from the tree root; returns the root
-        context (whose payload typically holds the result handles)."""
+        context (whose payload typically holds the result handles).
+
+        Always ends with cache cleanup (leases dropped, write-back IOUs
+        settled, unpinned blocks released), so a program finishes with
+        the same live-buffer census it would have had without caching.
+        """
         ctx = root_context(system)
-        self.before_run(ctx)
-        self.recurse(ctx)
-        self.after_run(ctx)
+        try:
+            self.before_run(ctx)
+            self.recurse(ctx)
+            self.after_run(ctx)
+        finally:
+            system.cache.end_run()
         return ctx

@@ -49,6 +49,9 @@ class ChunkTask:
 
     chunk: Any
     state: TaskState = TaskState.QUEUED
+    #: The chunk's transfers are covered by a prefetch plan (the level's
+    #: program supplied hints to the cache's prefetch engine).
+    prefetched: bool = False
 
     def advance(self, to: TaskState) -> None:
         if _ORDER.index(to) <= _ORDER.index(self.state):
@@ -56,6 +59,9 @@ class ChunkTask:
                 f"task for {self.chunk!r} cannot go {self.state.value} -> "
                 f"{to.value}")
         self.state = to
+
+    def mark_prefetched(self) -> None:
+        self.prefetched = True
 
 
 @dataclass
@@ -77,6 +83,10 @@ class LevelQueue:
     @property
     def all_done(self) -> bool:
         return all(t.state is TaskState.DONE for t in self.tasks)
+
+    @property
+    def prefetch_planned(self) -> int:
+        return sum(1 for t in self.tasks if t.prefetched)
 
     def progress(self) -> str:
         return (f"L{self.level}: " + " ".join(

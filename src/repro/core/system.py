@@ -27,10 +27,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.manager import CacheConfig, CacheManager
+from repro.cache.spec import FetchSpec
 from repro.compute.processor import KernelCost, Processor
 from repro.core.buffers import BufferHandle, BufferRegistry
 from repro.core.profiler import Breakdown, profile_trace
-from repro.errors import TransferError
+from repro.errors import CacheError, CapacityError, TransferError
 from repro.memory.device import StorageKind
 from repro.sim.timeline import Completion, Timeline
 from repro.sim.trace import Phase
@@ -108,14 +110,24 @@ class System:
     tree:
         A validated topology tree.  The system takes ownership; use
         :meth:`close` to release device backends.
+    cache:
+        Optional :class:`~repro.cache.manager.CacheConfig`.  The default
+        runs the cache in "explicit" mode: only :meth:`fetch_down` goes
+        through it, so programs that never call it behave exactly as
+        before.  Pass ``CacheConfig(mode="full", ...)`` to make every
+        parent->child ``move``/``move_2d`` consult the cache and to
+        enable the prefetch engine, or ``CacheConfig.disabled()`` to
+        turn caching off entirely.
     """
 
-    def __init__(self, tree: TopologyTree) -> None:
+    def __init__(self, tree: TopologyTree, *,
+                 cache: CacheConfig | None = None) -> None:
         self.tree = tree
         self.timeline = Timeline()
         self.registry = BufferRegistry()
         self.runtime_ops = 0
         self.wall = WallStats()
+        self.cache = CacheManager(self, cache or CacheConfig())
         self._proc_node: dict[str, TreeNode] = {}
         for node in tree.nodes():
             for proc in node.processors:
@@ -153,10 +165,17 @@ class System:
 
         Charges buffer-setup time (Figures 7/8's "setup" category); on a
         file node this is the create/open path, on a GPU node the driver
-        allocation.
+        allocation.  When the node is full but its buffer cache holds
+        unpinned blocks, those are evicted first: application buffers
+        always win over cached copies.
         """
         n = self._node(node)
-        alloc_id = n.device.allocate(nbytes)
+        try:
+            alloc_id = n.device.allocate(nbytes)
+        except CapacityError:
+            if not self.cache.reclaim(n, nbytes):
+                raise
+            alloc_id = n.device.allocate(nbytes)
         handle = self.registry.register(node_id=n.node_id, nbytes=nbytes,
                                         alloc_id=alloc_id, label=label)
         done = self.timeline.charge("host", SETUP_COST[n.device.kind],
@@ -165,9 +184,23 @@ class System:
         self.charge_runtime(1)
         return handle
 
+    def free_for_planning(self, node: TreeNode | int) -> int:
+        """Bytes an application can count on allocating at ``node``:
+        genuinely free space plus cached bytes that would be reclaimed
+        on demand.  Decomposition budgets use this instead of
+        ``node.free`` so cache residency never changes tile choices --
+        a repeated pass picks the same tiles and therefore hits."""
+        n = self._node(node)
+        return n.free + self.cache.reclaimable(n)
+
     def release(self, handle: BufferHandle) -> None:
         """``release(ptr)``: free the storage behind a handle."""
         self.registry.check_live(handle)
+        if self.cache.owns(handle):
+            raise CacheError(
+                f"buffer #{handle.buffer_id} backs a cache block; release "
+                f"fetch leases with fetch_release instead")
+        self.cache.on_release(handle)
         node = self.node_of(handle)
         self.registry.unregister(handle)
         if not handle.is_mapped:
@@ -176,16 +209,23 @@ class System:
 
     def move(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
              dst_offset: int = 0, src_offset: int = 0,
-             label: str = "") -> MoveResult:
+             label: str = "", cache: bool = True) -> MoveResult:
         """``move_data(dst, src, size, offset, dst_node, src_node)``.
 
         Endpoints may be anywhere in the tree; a transfer between
         non-adjacent nodes walks the tree edge by edge (the runtime "may
         walk up and down the tree"), charging each hop.  Bytes are moved
         between backends once.
+
+        With the cache in "full" mode, an ancestor->descendant move
+        consults the destination node's buffer cache: a hit replaces the
+        transfer with a bookkeeping charge, a miss performs the transfer
+        and admits the region.  ``cache=False`` opts a single move out.
         """
         self.registry.check_live(src)
         self.registry.check_live(dst)
+        self.cache.flush_handle(src)
+        self.cache.flush_handle(dst)
         if nbytes < 0:
             raise TransferError(f"negative transfer size {nbytes}")
         if src_offset + nbytes > src.nbytes:
@@ -197,6 +237,15 @@ class System:
                 f"write [{dst_offset}, {dst_offset + nbytes}) out of bounds "
                 f"for {dst!r}")
         src_node, dst_node = self.node_of(src), self.node_of(dst)
+
+        spec = ncache = None
+        if cache and nbytes >= 1 and self._cacheable_down(src_node, dst_node):
+            spec = FetchSpec.contiguous(src, src_offset, nbytes)
+            served, ncache = self._cache_consult(dst, spec,
+                                                 dst_offset=dst_offset,
+                                                 dst_stride=None, label=label)
+            if served is not None:
+                return served
 
         ready = max(src.ready_at, dst.last_read_end)
         hops = 0
@@ -234,12 +283,15 @@ class System:
         src.note_read(end)
         dst.note_write(end)
         self.charge_runtime(2)
+        if ncache is not None:
+            self._cache_admit(ncache, spec, dst, dst_offset=dst_offset,
+                              dst_stride=None, end=end)
         return MoveResult(start=start, end=end, nbytes=nbytes, hops=hops)
 
     def move_2d(self, dst: BufferHandle, src: BufferHandle, *, rows: int,
                 row_bytes: int, src_offset: int, src_stride: int,
                 dst_offset: int, dst_stride: int,
-                label: str = "") -> MoveResult:
+                label: str = "", cache: bool = True) -> MoveResult:
         """A 2-D block transfer (Listing 2's ``dCopyBlockH2D``/``D2H``).
 
         Moves ``rows`` runs of ``row_bytes`` with independent source and
@@ -250,6 +302,8 @@ class System:
         """
         self.registry.check_live(src)
         self.registry.check_live(dst)
+        self.cache.flush_handle(src)
+        self.cache.flush_handle(dst)
         if rows < 0 or row_bytes < 0:
             raise TransferError(f"negative rows/row_bytes ({rows}, {row_bytes})")
         if rows and row_bytes:
@@ -267,6 +321,17 @@ class System:
                     f"row payload {row_bytes}: rows would overlap")
         nbytes = rows * row_bytes
         src_node, dst_node = self.node_of(src), self.node_of(dst)
+
+        spec = ncache = None
+        if cache and nbytes >= 1 and self._cacheable_down(src_node, dst_node):
+            spec = FetchSpec.strided(src, offset=src_offset, rows=rows,
+                                     row_bytes=row_bytes, stride=src_stride)
+            served, ncache = self._cache_consult(dst, spec,
+                                                 dst_offset=dst_offset,
+                                                 dst_stride=dst_stride,
+                                                 label=label)
+            if served is not None:
+                return served
 
         ready = max(src.ready_at, dst.last_read_end)
         start = None
@@ -305,6 +370,9 @@ class System:
         src.note_read(end)
         dst.note_write(end)
         self.charge_runtime(2)
+        if ncache is not None:
+            self._cache_admit(ncache, spec, dst, dst_offset=dst_offset,
+                              dst_stride=dst_stride, end=end)
         return MoveResult(start=start if start is not None else ready,
                           end=end, nbytes=nbytes, hops=hops)
 
@@ -364,21 +432,215 @@ class System:
 
     def move_down(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
                   dst_offset: int = 0, src_offset: int = 0,
-                  label: str = "") -> MoveResult:
+                  label: str = "", cache: bool = True) -> MoveResult:
         """``move_data_down``: parent -> child, asserting the direction."""
         self._assert_adjacent(self.node_of(src), self.node_of(dst),
                               expect_down=True)
         return self.move(dst, src, nbytes, dst_offset=dst_offset,
-                         src_offset=src_offset, label=label)
+                         src_offset=src_offset, label=label, cache=cache)
 
     def move_up(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
                 dst_offset: int = 0, src_offset: int = 0,
                 label: str = "") -> MoveResult:
-        """``move_data_up``: child -> parent, asserting the direction."""
+        """``move_data_up``: child -> parent, asserting the direction.
+
+        Under ``CacheConfig(write_policy="back")`` the virtual charge is
+        deferred to the write-back ledger: bytes move now, the transfer
+        is charged when either endpoint is next read or released, and a
+        re-dirty of the same destination region before that absorbs the
+        earlier transfer entirely.
+        """
         self._assert_adjacent(self.node_of(dst), self.node_of(src),
                               expect_down=True)
+        if self.cache.writeback:
+            self.registry.check_live(src)
+            self.registry.check_live(dst)
+            if nbytes < 0:
+                raise TransferError(f"negative transfer size {nbytes}")
+            if src_offset + nbytes > src.nbytes or src_offset < 0:
+                raise TransferError(
+                    f"read [{src_offset}, {src_offset + nbytes}) out of "
+                    f"bounds for {src!r}")
+            if dst_offset + nbytes > dst.nbytes or dst_offset < 0:
+                raise TransferError(
+                    f"write [{dst_offset}, {dst_offset + nbytes}) out of "
+                    f"bounds for {dst!r}")
+            return self.cache.defer_up(dst, src, nbytes,
+                                       dst_offset=dst_offset,
+                                       src_offset=src_offset, label=label)
         return self.move(dst, src, nbytes, dst_offset=dst_offset,
                          src_offset=src_offset, label=label)
+
+    # -- the buffer cache ---------------------------------------------------
+
+    def fetch_down(self, node: TreeNode | int, src: BufferHandle, *,
+                   nbytes: int | None = None, src_offset: int = 0,
+                   rows: int | None = None, row_bytes: int | None = None,
+                   src_stride: int | None = None,
+                   label: str = "") -> BufferHandle:
+        """Pin a parent-level region on ``node`` and return a handle to
+        it, caching the bytes across fetches.
+
+        This is the cache-aware complement of :meth:`move_down` for
+        *read-only* inputs: the same region fetched again (same source
+        buffer, offset and shape) hits the node's cache and costs only
+        bookkeeping instead of a transfer.  The returned handle is
+        pinned -- eviction will not touch it -- until
+        :meth:`fetch_release`; do not write through it or pass it to
+        :meth:`release`.
+
+        Pass ``nbytes``/``src_offset`` for a contiguous range, or
+        ``rows``/``row_bytes``/``src_stride`` (+ ``src_offset``) for a
+        2-D window, which lands packed row-major in the returned buffer.
+        With the cache off this degenerates to allocate + move, released
+        by ``fetch_release``.
+        """
+        n = self._node(node)
+        self.registry.check_live(src)
+        src_node = self.node_of(src)
+        self._assert_adjacent(src_node, n, expect_down=True)
+        if rows is not None:
+            if row_bytes is None or src_stride is None:
+                raise TransferError(
+                    "strided fetch_down needs rows, row_bytes and src_stride")
+            spec = FetchSpec.strided(src, offset=src_offset, rows=rows,
+                                     row_bytes=row_bytes, stride=src_stride)
+        elif nbytes is not None:
+            spec = FetchSpec.contiguous(src, src_offset, nbytes)
+        else:
+            raise TransferError(
+                "fetch_down needs nbytes or rows/row_bytes/src_stride")
+        cache = self.cache.node_cache(n)
+        if cache is not None:
+            block = cache.lookup(spec)
+            if block is not None:
+                self.cache.count_hit(cache, spec.nbytes)
+                cache.touch(block)
+                self.timeline.charge(
+                    "host", self.cache.config.hit_cost, Phase.CACHE,
+                    label=f"cache-hit:{label or src.label or src.buffer_id}",
+                    nbytes=spec.nbytes)
+                self.charge_runtime(1)
+                self.cache.engine.notify_access(n, spec)
+                return self.cache.lease_block(cache, block)
+            self.cache.count_miss(cache, spec.nbytes)
+            # Consume this access's plan entry before admission so the
+            # policy ranks the incoming block by its next use.
+            self.cache.engine.consume(n.node_id, spec.key)
+            block = self.cache.fetch_into_cache(n, spec, label=label)
+            if block is not None:
+                cache.touch(block)  # demand admission is an access
+                self.cache.engine.issue(n)
+                return self.cache.lease_block(cache, block)
+        # No cache (or no room even after eviction): plain staging copy,
+        # torn down again by fetch_release.
+        handle = self.alloc(spec.nbytes, n,
+                            label=label or f"fetch:{src.label or src.buffer_id}")
+        if spec.is_strided:
+            self.move_2d(handle, src, rows=spec.rows,
+                         row_bytes=spec.row_bytes, src_offset=spec.offset,
+                         src_stride=spec.stride, dst_offset=0,
+                         dst_stride=spec.row_bytes, label=label, cache=False)
+        else:
+            self.move(handle, src, spec.nbytes, src_offset=spec.offset,
+                      label=label, cache=False)
+        return self.cache.lease_plain(handle)
+
+    def fetch_release(self, handle: BufferHandle) -> None:
+        """End a :meth:`fetch_down` lease.  The block stays cached for
+        future hits (it is merely unpinned); an uncached staging buffer
+        is released."""
+        self.cache.release_lease(handle)
+        self.charge_runtime(1)
+
+    def _cacheable_down(self, src_node: TreeNode, dst_node: TreeNode) -> bool:
+        """Transparent consults apply to ancestor->descendant moves in
+        "full" mode only."""
+        return (self.cache.transparent and src_node is not dst_node
+                and src_node in dst_node.path_to_root())
+
+    def _cache_consult(self, dst: BufferHandle, spec: FetchSpec, *,
+                       dst_offset: int, dst_stride: int | None, label: str):
+        """Try to serve a down-move from the destination node's cache.
+
+        Returns ``(MoveResult, None)`` on a hit; ``(None, cache)`` on a
+        miss (the caller performs the transfer, then admits via
+        :meth:`_cache_admit`); ``(None, None)`` when the node has no
+        cache.
+        """
+        dst_node = self.node_of(dst)
+        cache = self.cache.node_cache(dst_node)
+        if cache is None:
+            return None, None
+        block = cache.lookup(spec)
+        if block is None:
+            self.cache.count_miss(cache, spec.nbytes)
+            return None, cache
+        self.cache.count_hit(cache, spec.nbytes)
+        cache.touch(block)
+        src = spec.src
+        ready = max(block.handle.ready_at, dst.last_read_end)
+        done = self.timeline.charge(
+            "host", self.cache.config.hit_cost, Phase.CACHE, ready=ready,
+            label=f"cache-hit:{label or src.label or src.buffer_id}",
+            nbytes=spec.nbytes)
+        # Local copy block -> destination region; no edge is crossed.
+        t0 = time.perf_counter()
+        bh = block.handle
+        if spec.is_strided:
+            for r in range(spec.rows):
+                payload = dst_node.device.read(
+                    bh.alloc_id, bh.base_offset + r * spec.row_bytes,
+                    spec.row_bytes)
+                dst_node.device.write(
+                    dst.alloc_id,
+                    dst.base_offset + dst_offset + r * dst_stride, payload)
+        else:
+            payload = dst_node.device.read(bh.alloc_id, bh.base_offset,
+                                           spec.nbytes)
+            dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
+                                  payload)
+        self.wall.note(time.perf_counter() - t0, spec.nbytes)
+        bh.note_read(done.end)
+        dst.note_write(done.end)
+        self.charge_runtime(1)
+        self.cache.engine.notify_access(dst_node, spec)
+        return MoveResult(start=done.start, end=done.end,
+                          nbytes=spec.nbytes, hops=0), None
+
+    def _cache_admit(self, cache, spec: FetchSpec, dst: BufferHandle, *,
+                     dst_offset: int, dst_stride: int | None,
+                     end: float) -> None:
+        """After a transparent miss moved the bytes into ``dst``, admit
+        the region by copying it (locally) into a cache block."""
+        dst_node = self.node_of(dst)
+        # Consume this access's plan entry first: admission policies
+        # rank the incoming block by its *next* use.
+        self.cache.engine.consume(dst_node.node_id, spec.key)
+        block = cache.admit(spec)
+        if block is not None:
+            cache.touch(block)  # demand admission is an access
+            self.timeline.charge(
+                "host", SETUP_COST[dst_node.device.kind], Phase.SETUP,
+                label=f"cache-alloc@{dst_node.node_id}")
+            t0 = time.perf_counter()
+            bh = block.handle
+            if spec.is_strided:
+                for r in range(spec.rows):
+                    payload = dst_node.device.read(
+                        dst.alloc_id,
+                        dst.base_offset + dst_offset + r * dst_stride,
+                        spec.row_bytes)
+                    dst_node.device.write(
+                        bh.alloc_id, bh.base_offset + r * spec.row_bytes,
+                        payload)
+            else:
+                payload = dst_node.device.read(
+                    dst.alloc_id, dst.base_offset + dst_offset, spec.nbytes)
+                dst_node.device.write(bh.alloc_id, bh.base_offset, payload)
+            self.wall.note(time.perf_counter() - t0, spec.nbytes)
+            bh.note_write(end)
+        self.cache.engine.issue(dst_node)
 
     def _assert_adjacent(self, parent: TreeNode, child: TreeNode, *,
                          expect_down: bool) -> None:
@@ -443,6 +705,7 @@ class System:
         node = self.processor_node(proc)
         for h in (*reads, *writes):
             self.registry.check_live(h)
+            self.cache.flush_handle(h)
             if self.node_of(h) is not node:
                 raise TransferError(
                     f"kernel on {proc.name!r} (node {node.node_id}) cannot "
@@ -479,6 +742,7 @@ class System:
                 f"overflows {handle!r}")
         node = self.node_of(handle)
         node.device.write(handle.alloc_id, handle.base_offset + offset, arr)
+        handle.bump_version()  # cached copies of the old contents are stale
 
     def fetch(self, handle: BufferHandle, dtype, shape=None,
               offset: int = 0, count: int | None = None) -> np.ndarray:
@@ -504,11 +768,15 @@ class System:
     # -- reporting -----------------------------------------------------------
 
     def makespan(self) -> float:
-        """End-to-end virtual time of everything charged so far."""
+        """End-to-end virtual time of everything charged so far.
+        Settles any deferred write-backs first: IOUs are owed time."""
+        self.cache.flush_all()
         return self.timeline.makespan()
 
     def breakdown(self) -> Breakdown:
-        """Fold the trace into the per-category breakdown."""
+        """Fold the trace into the per-category breakdown (deferred
+        write-backs are settled first)."""
+        self.cache.flush_all()
         return profile_trace(self.timeline.trace)
 
     def reset_time(self) -> None:
@@ -516,6 +784,7 @@ class System:
         contents but dependency times restart at zero)."""
         self.timeline.reset()
         self.runtime_ops = 0
+        self.cache.on_reset()
         for h in self.registry.live_handles():
             h.times.reset()
 

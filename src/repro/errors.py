@@ -53,6 +53,11 @@ class TransferError(NorthupError):
     mismatch, unsupported device-type pair, cross-tree transfer, ...)."""
 
 
+class CacheError(NorthupError):
+    """The buffer cache was driven incorrectly (unpinning an unpinned
+    block, dropping a pinned block, unknown lease, ...)."""
+
+
 class SchedulerError(NorthupError):
     """The task scheduler detected an inconsistency (dependency cycle,
     task re-submission, pop from a foreign queue, ...)."""

@@ -77,6 +77,17 @@ class FreeListAllocator:
         """Size of the largest contiguous free block (0 when full)."""
         return max((size for _off, size in self._free), default=0)
 
+    def can_fit(self, size: int) -> bool:
+        """True when :meth:`allocate` of ``size`` bytes would succeed now.
+
+        First-fit succeeds exactly when some free block holds the aligned
+        request, i.e. when the largest free block does.  The buffer cache
+        uses this to decide between admitting a block and evicting first.
+        """
+        if size <= 0:
+            return False
+        return self._padded(size) <= self.largest_free_block()
+
     def fragmentation(self) -> float:
         """1 - largest_free_block / free_bytes; 0.0 when unfragmented."""
         free = self.free_bytes

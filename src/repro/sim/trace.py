@@ -21,7 +21,9 @@ class Phase(enum.Enum):
     (storage <-> host memory) and device transfers (host <-> accelerator,
     the paper's "OpenCL transfers").  ``RUNTIME`` accounts the framework's
     own bookkeeping (tree lookups, task control), which Section V-B
-    reports to be under 1% of total execution time.
+    reports to be under 1% of total execution time.  ``CACHE`` accounts
+    buffer-cache bookkeeping: a cache hit costs a ``CACHE`` interval
+    instead of a transfer, which is the whole point of the cache.
     """
 
     CPU_COMPUTE = "cpu_compute"
@@ -32,6 +34,7 @@ class Phase(enum.Enum):
     DEV_TRANSFER = "dev_transfer"
     MEM_COPY = "mem_copy"
     RUNTIME = "runtime"
+    CACHE = "cache"
 
     @property
     def is_io(self) -> bool:

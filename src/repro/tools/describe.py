@@ -7,6 +7,8 @@ Examples::
     python -m repro.tools.describe --topology figure2
     python -m repro.tools.describe --devices
     python -m repro.tools.describe --processors
+    python -m repro.tools.describe --cache apu
+    python -m repro.tools.describe --cache dgpu --cache-policy oracle
 """
 
 from __future__ import annotations
@@ -82,6 +84,41 @@ def _print_spec(path: str) -> int:
     return 0
 
 
+def _print_cache(name: str, policy: str) -> int:
+    """Show a topology's per-node cache budgets, then run a small
+    HotSpot workload on it and print the post-run cache statistics."""
+    if name not in TOPOLOGIES:
+        print(f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}",
+              file=sys.stderr)
+        return 2
+    from repro.apps.hotspot import HotspotApp
+    from repro.cache.manager import CacheConfig
+    from repro.core.system import System
+
+    try:
+        cfg = CacheConfig(mode="full", policy=policy)
+    except NorthupError as exc:
+        print(f"invalid cache config: {exc}", file=sys.stderr)
+        return 2
+    _description, factory = TOPOLOGIES[name]
+    system = System(factory(), cache=cfg)
+    try:
+        print(f"{name}: buffer-cache configuration")
+        print(system.cache.describe())
+        print()
+        print("after a HotSpot demo run (n=128, 4 passes):")
+        app = HotspotApp(system, n=128, iterations=4, steps_per_pass=1,
+                         force_tile=64, seed=1)
+        app.run(system)
+        print(system.cache.describe())
+    except NorthupError as exc:
+        print(f"demo run failed on {name!r}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        system.close()
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -113,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the device catalog")
     parser.add_argument("--processors", action="store_true",
                         help="print the processor registry")
+    parser.add_argument("--cache", metavar="NAME",
+                        help="show per-node cache budgets on a topology "
+                             "and the stats of a small demo run")
+    parser.add_argument("--cache-policy", metavar="POLICY", default="lru",
+                        help="eviction policy for --cache "
+                             "(lru, lfu, cost, oracle; default lru)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -127,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_devices()
     if args.processors:
         return _print_processors()
+    if args.cache:
+        return _print_cache(args.cache, args.cache_policy)
     parser.print_help()
     return 0
 

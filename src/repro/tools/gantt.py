@@ -25,6 +25,7 @@ PHASE_CHARS = {
     Phase.CPU_COMPUTE: "C",
     Phase.SETUP: "s",
     Phase.RUNTIME: "r",
+    Phase.CACHE: "c",
 }
 
 IDLE = "·"  # middle dot

@@ -29,6 +29,7 @@ _PHASE_COLORS = {
     Phase.MEM_COPY: "olive",
     Phase.SETUP: "grey",
     Phase.RUNTIME: "white",
+    Phase.CACHE: "thread_state_runnable",
 }
 
 

@@ -115,23 +115,37 @@ def test_gemm_releases_everything_but_roots():
 
 
 def test_gemm_reuse_reduces_read_traffic():
-    """Section IV-A's optimisation: with row-shard reuse, A is read from
-    storage once per row strip instead of once per (i, j) block."""
-    def io_read_bytes(reuse):
+    """Section IV-A's optimisation, now provided by the buffer cache:
+    with caching on, A is read from storage once per (i, p) region
+    instead of once per (i, j, p) chunk; turning the cache off recovers
+    the streamed-everything traffic."""
+    from repro.cache.manager import CacheConfig
+    from repro.apps.gemm import GemmTiles
+
+    def io_read_bytes(cache_cfg):
         sys_ = System(apu_two_level(storage_capacity=8 * MB,
-                                    staging_bytes=200 * KB))
+                                    staging_bytes=200 * KB),
+                      cache=cache_cfg)
         try:
             app = GemmApp(sys_, m=128, k=128, n=128, seed=2,
-                          reuse_row_shard=reuse)
+                          force_tiles=GemmTiles(tm=32, tn=32, tk=128,
+                                                reuse=True))
             app.run(sys_)
             np.testing.assert_allclose(app.result(), app.reference(),
                                        rtol=1e-3, atol=1e-4)
             from repro.sim.trace import Phase
             return sys_.breakdown().bytes_by_phase[Phase.IO_READ]
+
         finally:
             sys_.close()
 
-    assert io_read_bytes(True) < io_read_bytes(False)
+    cached = io_read_bytes(CacheConfig())  # default "explicit" mode
+    uncached = io_read_bytes(CacheConfig.disabled())
+    assert cached < uncached
+    # 4x4 output tiles, tk = k: cache hits serve 3 of every 4 A-region
+    # reads, so exactly 12 of the 16 A transfers (32x128 floats each)
+    # disappear; B streams either way.
+    assert uncached - cached == 12 * 32 * 128 * 4
 
 
 def test_gemm_pipelining_reduces_makespan():
