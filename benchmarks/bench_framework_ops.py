@@ -3,9 +3,11 @@
 Unlike the figure benches (which measure *virtual* time), these measure
 the real Python cost of alloc/move/launch/map on this machine -- the
 number a user pays per chunk.  Rounds are bounded and the timeline is
-reset between rounds: accumulated trace state would otherwise make
-later operations slower (gap-search cost grows with booked intervals)
-and measure the wrong thing.
+reset between rounds so every round measures the same state.  (The
+indexed slot scheduler keeps gap-search cost flat as bookings
+accumulate -- `benchmarks/bench_wallclock_scaling.py` measures exactly
+that scaling -- but resetting still isolates the per-op cost from
+allocator and trace growth.)
 """
 
 import pytest

@@ -10,8 +10,10 @@
 * :mod:`repro.bench.future` -- forward-looking analyses (storage
   generations, sharding strategies).
 * :mod:`repro.bench.sweeps` -- generic parameter sweeps with CSV output.
+* :mod:`repro.bench.parallel` -- process-pool fan-out of independent
+  experiment configurations with a deterministic merge.
 """
 
-from repro.bench import configs, figures, reporting
+from repro.bench import configs, figures, parallel, reporting
 
-__all__ = ["configs", "figures", "reporting"]
+__all__ = ["configs", "figures", "parallel", "reporting"]

@@ -181,9 +181,7 @@ def figure8(scale: configs.WorkloadScale = configs.DEFAULT_SCALE,
         res = _run_app(app, tree, "hdd+dgpu", scale)
         assert res.verified
         shares = res.breakdown.shares()
-        shares["dev_transfer"] = (res.breakdown.dev_transfer
-                                  / res.breakdown.busy_total
-                                  if res.breakdown.busy_total else 0.0)
+        shares["dev_transfer"] = res.breakdown.dev_transfer_share
         rows.append(BreakdownRow(app=app, storage="hdd+dgpu",
                                  shares=shares, breakdown=res.breakdown))
     return rows

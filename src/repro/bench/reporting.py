@@ -36,7 +36,7 @@ def format_breakdown(rows: list[BreakdownRow], title: str) -> str:
             r.app, r.storage,
             f"{r.shares['cpu']:.1%}", f"{r.shares['gpu']:.1%}",
             f"{r.shares['setup']:.1%}", f"{r.shares['transfer']:.1%}",
-            f"{r.shares.get('dev_transfer', r.breakdown.dev_transfer / r.breakdown.busy_total if r.breakdown.busy_total else 0.0):.1%}",
+            f"{r.breakdown.dev_transfer_share:.1%}",
             f"{r.shares['runtime']:.2%}",
         ])
     return _table(

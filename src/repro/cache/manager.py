@@ -208,28 +208,89 @@ class CacheManager:
         """Admit a block for ``spec`` and bring its bytes down from the
         source node, charging block setup plus the real edge transfer.
         Returns None when the cache cannot host the region."""
-        from repro.core.system import SETUP_COST
         system = self.system
         system.registry.check_live(spec.src)
         cache = self.node_cache(node)
         if cache is None:
             return None
         src_node = system.node_of(spec.src)
+        self._check_fill_source(node, src_node)
+        block = cache.admit(spec, prefetched=prefetched)
+        if block is None:
+            return None
+        tag = "prefetch" if prefetched else "fill"
+        self._fill_block(node, src_node, spec, block,
+                         system._edge_path(src_node, node),
+                         label or f"cache-{tag}:"
+                                  f"{spec.src.label or spec.src.buffer_id}")
+        system.charge_runtime(1)
+        if prefetched:
+            cache.stats.prefetch_issued += 1
+        return block
+
+    def prefetch_batch(self, node: TreeNode, window: list[FetchSpec],
+                       lookahead: int) -> int:
+        """Issue up to ``lookahead`` planned fetches for ``node`` in one
+        call (the prefetch engine's lookahead loop, hoisted down here).
+
+        Residency and admission decisions run per spec in window order
+        -- one admission's eviction can legitimately turn the next
+        entry's lookup into a miss -- but the cache, source paths and
+        attribute lookups are resolved once for the whole sweep, and
+        every charge is made in exactly the per-spec order the
+        one-call-per-spec loop used, so virtual results are
+        bit-identical.  Returns the number of fetches issued.
+        """
+        cache = self.node_cache(node)
+        if cache is None:
+            return 0
+        system = self.system
+        lookup = cache.lookup
+        admit = cache.admit
+        paths: dict[int, list] = {}
+        issued = 0
+        for spec in window:
+            if issued >= lookahead:
+                break
+            if spec.src.released or lookup(spec) is not None:
+                continue
+            src_node = system.node_of(spec.src)
+            path = paths.get(src_node.node_id)
+            if path is None:
+                self._check_fill_source(node, src_node)
+                path = system._edge_path(src_node, node)
+                paths[src_node.node_id] = path
+            block = admit(spec, prefetched=True)
+            if block is None:
+                break  # no room; trying further entries would thrash
+            self._fill_block(node, src_node, spec, block, path,
+                             f"cache-prefetch:"
+                             f"{spec.src.label or spec.src.buffer_id}")
+            system.charge_runtime(1)
+            cache.stats.prefetch_issued += 1
+            issued += 1
+        return issued
+
+    def _check_fill_source(self, node: TreeNode, src_node: TreeNode) -> None:
         if node not in src_node.children and \
                 src_node not in node.path_to_root():
             raise CacheError(
                 f"cache fill source on node {src_node.node_id} is not an "
                 f"ancestor of node {node.node_id}")
-        block = cache.admit(spec, prefetched=prefetched)
-        if block is None:
-            return None
+
+    def _fill_block(self, node: TreeNode, src_node: TreeNode,
+                    spec: FetchSpec, block: CacheBlock,
+                    edge_path: list, label: str) -> None:
+        """Charge block setup plus the edge transfers for one admitted
+        block and move its bytes; shared by demand fills and the batched
+        prefetch sweep."""
+        from repro.core.system import SETUP_COST
+        system = self.system
         system.timeline.charge(
             "host", SETUP_COST[node.device.kind], Phase.SETUP,
             label=f"cache-alloc@{node.node_id}")
-        tag = "prefetch" if prefetched else "fill"
-        label = label or f"cache-{tag}:{spec.src.label or spec.src.buffer_id}"
         end = spec.src.ready_at
-        for edge_src, edge_dst in system._edge_path(src_node, node):
+        for edge_src, edge_dst in edge_path:
             done = system._charge_edge(edge_src, edge_dst, spec.nbytes,
                                        ready=end, label=label)
             end = done.end
@@ -240,10 +301,6 @@ class CacheManager:
         system.wall.note(time.perf_counter() - t0, spec.nbytes)
         spec.src.note_read(end)
         block.handle.note_write(end)
-        system.charge_runtime(1)
-        if prefetched:
-            cache.stats.prefetch_issued += 1
-        return block
 
     # -- leases (System.fetch_down / fetch_release) ----------------------
 

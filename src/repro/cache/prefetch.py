@@ -92,24 +92,20 @@ class PrefetchEngine:
         self.issue(node)
 
     def issue(self, node: TreeNode) -> None:
-        """Issue up to ``lookahead`` planned fetches for ``node``."""
+        """Issue up to ``lookahead`` planned fetches for ``node``.
+
+        The whole lookahead sweep is one
+        :meth:`~repro.cache.manager.CacheManager.prefetch_batch` call:
+        residency checks and admissions still run per plan entry (in
+        order), but path resolution and cache lookups are hoisted out
+        of the loop.
+        """
         plan = self._plans.get(node.node_id)
         if not plan:
             return
         lookahead = self.manager.config.lookahead
         if lookahead < 1:
             return
-        cache = self.manager.node_cache(node)
-        if cache is None:
-            return
-        issued = 0
         # Scan a bounded window: already-resident entries don't count
         # against the lookahead but shouldn't trigger unbounded scans.
-        for s in plan[:lookahead * 4]:
-            if issued >= lookahead:
-                break
-            if s.src.released or cache.lookup(s) is not None:
-                continue
-            if self.manager.fetch_into_cache(node, s, prefetched=True) is None:
-                break  # no room; trying further entries would thrash
-            issued += 1
+        self.manager.prefetch_batch(node, plan[:lookahead * 4], lookahead)

@@ -22,7 +22,7 @@
 """
 
 from repro.core.buffers import BufferHandle, BufferRegistry
-from repro.core.system import System
+from repro.core.system import BatchMove, System
 from repro.core.context import ExecutionContext
 from repro.core.program import NorthupProgram
 from repro.core.profiler import Breakdown, profile_trace
@@ -30,6 +30,7 @@ from repro.core.profiler import Breakdown, profile_trace
 __all__ = [
     "BufferHandle",
     "BufferRegistry",
+    "BatchMove",
     "System",
     "ExecutionContext",
     "NorthupProgram",

@@ -91,6 +91,14 @@ class Breakdown:
             "cache": self.cache / total,
         }
 
+    @property
+    def dev_transfer_share(self) -> float:
+        """Device-transfer busy share (Figure 8's extra column).  Kept
+        out of :meth:`shares` -- it overlaps the "transfer" category, and
+        shares must sum to 1."""
+        total = self.busy_total
+        return self.dev_transfer / total if total else 0.0
+
     def runtime_overhead_fraction(self) -> float:
         """Runtime bookkeeping as a fraction of all busy time."""
         total = self.busy_total
@@ -114,12 +122,11 @@ class Breakdown:
 
 
 def profile_trace(trace: Trace) -> Breakdown:
-    """Fold a trace into a :class:`Breakdown`."""
-    by_phase: dict[Phase, float] = {}
-    bytes_by_phase: dict[Phase, int] = {}
-    for iv in trace:
-        by_phase[iv.phase] = by_phase.get(iv.phase, 0.0) + iv.duration
-        if iv.nbytes:
-            bytes_by_phase[iv.phase] = bytes_by_phase.get(iv.phase, 0) + iv.nbytes
-    return Breakdown(makespan=trace.makespan(), by_phase=by_phase,
-                     bytes_by_phase=bytes_by_phase)
+    """Fold a trace into a :class:`Breakdown`.
+
+    Served straight from the trace's columnar running aggregates --
+    O(#phases), not O(#intervals), so profiling stays off the critical
+    path however long the run was.
+    """
+    return Breakdown(makespan=trace.makespan(), by_phase=trace.by_phase(),
+                     bytes_by_phase=trace.bytes_by_phase())

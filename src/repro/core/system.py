@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -102,6 +103,18 @@ class MoveResult:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class BatchMove:
+    """One element of a :meth:`System.move_down_batch` sweep."""
+
+    dst: BufferHandle
+    src: BufferHandle
+    nbytes: int
+    dst_offset: int = 0
+    src_offset: int = 0
+    label: str = ""
+
+
 class System:
     """A machine: topology + timeline + buffer registry.
 
@@ -128,6 +141,10 @@ class System:
         self.runtime_ops = 0
         self.wall = WallStats()
         self.cache = CacheManager(self, cache or CacheConfig())
+        #: Memoized per-edge charging recipes; the topology is immutable
+        #: after validation, so these never need invalidating.
+        self._edge_plans: dict[tuple[int, int],
+                               tuple[tuple[str, ...], Phase, float, float]] = {}
         self._proc_node: dict[str, TreeNode] = {}
         for node in tree.nodes():
             for proc in node.processors:
@@ -439,6 +456,101 @@ class System:
         return self.move(dst, src, nbytes, dst_offset=dst_offset,
                          src_offset=src_offset, label=label, cache=cache)
 
+    def move_down_batch(self, moves: Sequence[BatchMove]) -> list[MoveResult]:
+        """``move_data_down`` for a whole pre-planned chunk sweep.
+
+        Runs of moves sharing one tree edge are charged through a single
+        :meth:`~repro.sim.timeline.Timeline.charge_path_batch` call, so a
+        pipelined sweep pays one resolution/dispatch round-trip per run
+        instead of one per chunk.  Placements are exactly those of the
+        equivalent loop of :meth:`move_down` calls, with two deliberate
+        differences: runtime bookkeeping is charged as one aggregate
+        interval at the end (same total ops, fewer trace rows), and the
+        sweep never consults the transparent cache -- with the cache in
+        "full" mode it degenerates to sequential :meth:`move_down` calls,
+        because per-move hit/miss decisions cannot be batched.
+
+        A move that reads a buffer a pending move writes, or overwrites
+        one a pending move reads, closes the current run first, so
+        ``ready`` times thread through exactly as in the sequential
+        loop.
+        """
+        if not moves:
+            return []
+        if self.cache.transparent:
+            return [self.move_down(m.dst, m.src, m.nbytes,
+                                   dst_offset=m.dst_offset,
+                                   src_offset=m.src_offset, label=m.label)
+                    for m in moves]
+        results: list[MoveResult] = []
+        pending: list[BatchMove] = []
+        pending_nodes: tuple[TreeNode, TreeNode] | None = None
+        # id() of the BufferTimes pending moves read (sources) and write
+        # (destinations); stamped only at flush, so a later move that
+        # reads a pending write (RAW) or overwrites a pending read (WAR)
+        # must close the run first.  Shared sources (one staging buffer
+        # fanned to many chunks) and repeated writes to one destination
+        # need no flush: neither changes any later move's ready time.
+        pending_read: set[int] = set()
+        pending_written: set[int] = set()
+
+        def flush_run() -> None:
+            nonlocal pending_nodes
+            if not pending:
+                return
+            src_node, dst_node = pending_nodes
+            resources, phase, latency, bw = self._edge_plan(src_node, dst_node)
+            ops = [(latency + m.nbytes / bw,
+                    max(m.src.ready_at, m.dst.last_read_end),
+                    m.label, m.nbytes) for m in pending]
+            done = self.timeline.charge_path_batch(resources, ops, phase)
+            read = src_node.device.read
+            write = dst_node.device.write
+            for m, c in zip(pending, done):
+                t0 = time.perf_counter()
+                payload = read(m.src.alloc_id,
+                               m.src.base_offset + m.src_offset, m.nbytes)
+                write(m.dst.alloc_id, m.dst.base_offset + m.dst_offset,
+                      payload)
+                self.wall.note(time.perf_counter() - t0, m.nbytes)
+                m.src.note_read(c.end)
+                m.dst.note_write(c.end)
+                results.append(MoveResult(start=c.start, end=c.end,
+                                          nbytes=m.nbytes, hops=1))
+            pending.clear()
+            pending_nodes = None
+            pending_read.clear()
+            pending_written.clear()
+
+        for m in moves:
+            self.registry.check_live(m.src)
+            self.registry.check_live(m.dst)
+            self.cache.flush_handle(m.src)
+            self.cache.flush_handle(m.dst)
+            if m.nbytes < 0:
+                raise TransferError(f"negative transfer size {m.nbytes}")
+            if m.src_offset < 0 or m.src_offset + m.nbytes > m.src.nbytes:
+                raise TransferError(
+                    f"read [{m.src_offset}, {m.src_offset + m.nbytes}) out "
+                    f"of bounds for {m.src!r}")
+            if m.dst_offset < 0 or m.dst_offset + m.nbytes > m.dst.nbytes:
+                raise TransferError(
+                    f"write [{m.dst_offset}, {m.dst_offset + m.nbytes}) out "
+                    f"of bounds for {m.dst!r}")
+            src_node, dst_node = self.node_of(m.src), self.node_of(m.dst)
+            self._assert_adjacent(src_node, dst_node, expect_down=True)
+            if pending and (pending_nodes != (src_node, dst_node)
+                            or id(m.src.times) in pending_written
+                            or id(m.dst.times) in pending_read):
+                flush_run()
+            pending.append(m)
+            pending_nodes = (src_node, dst_node)
+            pending_read.add(id(m.src.times))
+            pending_written.add(id(m.dst.times))
+        flush_run()
+        self.charge_runtime(2 * len(moves), label="move_down_batch")
+        return results
+
     def move_up(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
                 dst_offset: int = 0, src_offset: int = 0,
                 label: str = "") -> MoveResult:
@@ -667,25 +779,37 @@ class System:
         down = [(b.parent, b) for b in reversed(down_nodes)]
         return up + down
 
+    def _edge_plan(self, src: TreeNode,
+                   dst: TreeNode) -> tuple[tuple[str, ...], Phase, float, float]:
+        """The charging recipe of one parent<->child hop, memoized:
+        ``(resource names, phase, latency sum, bottleneck bandwidth)``."""
+        key = (src.node_id, dst.node_id)
+        plan = self._edge_plans.get(key)
+        if plan is None:
+            child = dst if dst.parent is src else src
+            direction = "down" if child is dst else "up"
+            link = child.uplink
+            assert link is not None, "validated trees always carry edge links"
+            bw = min(src.device.spec.read_bw, link.bandwidth,
+                     dst.device.spec.write_bw)
+            latency = (src.device.spec.latency + link.latency
+                       + dst.device.spec.latency)
+            phase = _transfer_phase(src.device.kind, dst.device.kind)
+            resources = [src.device.read_resource,
+                         link.resource_name(direction),
+                         dst.device.write_resource]
+            # A device's read and write side may be one physical channel;
+            # do not list the same resource twice for one operation.
+            plan = (tuple(dict.fromkeys(resources)), phase, latency, bw)
+            self._edge_plans[key] = plan
+        return plan
+
     def _charge_edge(self, src: TreeNode, dst: TreeNode, nbytes: int, *,
                      ready: float, label: str) -> Completion:
         """Charge one parent<->child hop on its physical resources."""
-        child = dst if dst.parent is src else src
-        direction = "down" if child is dst else "up"
-        link = child.uplink
-        assert link is not None, "validated trees always carry edge links"
-        bw = min(src.device.spec.read_bw, link.bandwidth,
-                 dst.device.spec.write_bw)
-        duration = (src.device.spec.latency + link.latency
-                    + dst.device.spec.latency + nbytes / bw)
-        phase = _transfer_phase(src.device.kind, dst.device.kind)
-        resources = [src.device.read_resource, link.resource_name(direction),
-                     dst.device.write_resource]
-        # A device's read and write side may be one physical channel; do
-        # not list the same resource twice for one operation.
-        deduped = list(dict.fromkeys(resources))
-        return self.timeline.charge_path(deduped, duration, phase,
-                                         ready=ready, label=label,
+        resources, phase, latency, bw = self._edge_plan(src, dst)
+        return self.timeline.charge_path(resources, latency + nbytes / bw,
+                                         phase, ready=ready, label=label,
                                          nbytes=nbytes)
 
     # -- compute -----------------------------------------------------------

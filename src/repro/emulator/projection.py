@@ -39,18 +39,22 @@ class IOProfile:
         read_ops = write_ops = 0
         io_busy = 0.0
         busy_by_resource: dict[str, float] = {}
-        for iv in trace:
-            if iv.phase is Phase.IO_READ:
-                read_bytes += iv.nbytes
+        # Raw-column iteration: byte/op totals could come from the
+        # trace's running aggregates, but io_busy interleaves reads and
+        # writes in trace order -- folding here keeps the float
+        # accumulation order (and thus Figure 9's numbers) bit-identical.
+        for start, end, phase, resource, _label, nbytes in trace.rows():
+            if phase is Phase.IO_READ:
+                read_bytes += nbytes
                 read_ops += 1
-                io_busy += iv.duration
-            elif iv.phase is Phase.IO_WRITE:
-                write_bytes += iv.nbytes
+                io_busy += end - start
+            elif phase is Phase.IO_WRITE:
+                write_bytes += nbytes
                 write_ops += 1
-                io_busy += iv.duration
+                io_busy += end - start
             else:
-                busy_by_resource[iv.resource] = (
-                    busy_by_resource.get(iv.resource, 0.0) + iv.duration)
+                busy_by_resource[resource] = (
+                    busy_by_resource.get(resource, 0.0) + (end - start))
         return cls(read_bytes=read_bytes, write_bytes=write_bytes,
                    read_ops=read_ops, write_ops=write_ops,
                    io_busy=io_busy, makespan=trace.makespan(),

@@ -1,15 +1,40 @@
-"""Typed execution traces.
+"""Typed execution traces, stored columnar.
 
 Every timed operation in the framework records an :class:`Interval` tagged
 with a :class:`Phase`.  The profiler (:mod:`repro.core.profiler`) folds a
 trace into the per-category breakdowns reported in Figures 7 and 8 of the
 paper (CPU compute, GPU compute, buffer setup, transfers and I/O).
+
+Storage layout
+--------------
+Intervals are kept as parallel primitive arrays (one Python list per
+column) with running aggregates maintained on append:
+
+* per-phase, per-resource and per-(phase, resource) busy seconds,
+* per-phase moved bytes and operation counts,
+* the running makespan.
+
+Aggregation queries (:meth:`Trace.busy_time`, :meth:`Trace.by_phase`,
+:meth:`Trace.bytes_moved`, :meth:`Trace.makespan`) therefore cost O(1)
+or O(#distinct keys) instead of a full re-scan -- the framework's own
+bookkeeping must stay off the critical path as traces grow to millions
+of intervals (the paper's Section V-B budget: runtime overhead < 1%).
+
+Every running sum accumulates in trace order with the same float
+operations the old scanning implementation performed, so aggregate
+values are bit-identical to a re-scan.
+
+The iteration API is preserved: ``for iv in trace`` and
+``trace.intervals`` materialize :class:`Interval` objects lazily (and
+cache them), so the profiler, gantt renderer and trace exporters keep
+working unchanged.  Hot consumers that only need the raw columns use
+:meth:`Trace.rows` and never pay for materialization.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 
@@ -84,24 +109,112 @@ class Interval:
         return self.start < other.end and other.start < self.end
 
 
-@dataclass
 class Trace:
-    """Append-only list of intervals with aggregation helpers."""
+    """Append-only columnar store of intervals with O(1) aggregation."""
 
-    intervals: list[Interval] = field(default_factory=list)
+    __slots__ = ("_starts", "_ends", "_phases", "_resources", "_labels",
+                 "_nbytes", "_materialized", "_busy_total", "_bytes_total",
+                 "_max_end", "_busy_by_phase", "_busy_by_resource",
+                 "_busy_by_pair", "_bytes_by_phase", "_ops_by_phase")
+
+    def __init__(self, intervals: Iterable[Interval] | None = None) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._phases: list[Phase] = []
+        self._resources: list[str] = []
+        self._labels: list[str] = []
+        self._nbytes: list[int] = []
+        #: Cached Interval objects; None until first materialization,
+        #: kept in sync by record() afterwards.
+        self._materialized: list[Interval] | None = None
+        self._busy_total = 0.0
+        self._bytes_total = 0
+        self._max_end = 0.0
+        self._busy_by_phase: dict[Phase, float] = {}
+        self._busy_by_resource: dict[str, float] = {}
+        self._busy_by_pair: dict[tuple[Phase, str], float] = {}
+        #: Only phases that moved a nonzero byte count appear here (the
+        #: key set the breakdown reports expose).
+        self._bytes_by_phase: dict[Phase, int] = {}
+        self._ops_by_phase: dict[Phase, int] = {}
+        if intervals is not None:
+            for iv in intervals:
+                self.record(iv)
+
+    # -- recording ------------------------------------------------------
 
     def record(self, interval: Interval) -> None:
         if interval.end < interval.start:
             raise ValueError(
                 f"interval ends before it starts: {interval}"
             )
-        self.intervals.append(interval)
+        cache = self._materialized
+        self.record_raw(interval.start, interval.end, interval.phase,
+                        interval.resource, interval.label, interval.nbytes)
+        if cache is not None:
+            cache.append(interval)
+            self._materialized = cache
+
+    def record_raw(self, start: float, end: float, phase: Phase,
+                   resource: str, label: str = "", nbytes: int = 0) -> None:
+        """Append one interval without allocating an :class:`Interval`.
+
+        The hot path for :class:`~repro.sim.timeline.Timeline`: column
+        appends plus running-aggregate updates.  The caller guarantees
+        ``end >= start`` (the timeline computes ``end = start +
+        duration`` with a validated non-negative duration).
+        """
+        self._starts.append(start)
+        self._ends.append(end)
+        self._phases.append(phase)
+        self._resources.append(resource)
+        self._labels.append(label)
+        self._nbytes.append(nbytes)
+        if self._materialized is not None:
+            self._materialized = None
+        duration = end - start
+        self._busy_total += duration
+        if end > self._max_end:
+            self._max_end = end
+        bp = self._busy_by_phase
+        bp[phase] = bp.get(phase, 0.0) + duration
+        br = self._busy_by_resource
+        br[resource] = br.get(resource, 0.0) + duration
+        pair = (phase, resource)
+        bpr = self._busy_by_pair
+        bpr[pair] = bpr.get(pair, 0.0) + duration
+        ops = self._ops_by_phase
+        ops[phase] = ops.get(phase, 0) + 1
+        if nbytes:
+            self._bytes_total += nbytes
+            bb = self._bytes_by_phase
+            bb[phase] = bb.get(phase, 0) + nbytes
 
     def __len__(self) -> int:
-        return len(self.intervals)
+        return len(self._starts)
 
     def __iter__(self) -> Iterator[Interval]:
         return iter(self.intervals)
+
+    @property
+    def intervals(self) -> list[Interval]:
+        """The trace as :class:`Interval` objects (lazily materialized,
+        cached until the next raw append)."""
+        if self._materialized is None:
+            self._materialized = [
+                Interval(start=s, end=e, phase=p, resource=r, label=lb,
+                         nbytes=nb)
+                for s, e, p, r, lb, nb in zip(
+                    self._starts, self._ends, self._phases, self._resources,
+                    self._labels, self._nbytes)
+            ]
+        return self._materialized
+
+    def rows(self) -> Iterator[tuple[float, float, Phase, str, str, int]]:
+        """Iterate raw ``(start, end, phase, resource, label, nbytes)``
+        tuples without materializing :class:`Interval` objects."""
+        return zip(self._starts, self._ends, self._phases, self._resources,
+                   self._labels, self._nbytes)
 
     # -- aggregation ----------------------------------------------------
 
@@ -111,43 +224,74 @@ class Trace:
 
         Busy time is the quantity behind the paper's stacked breakdown
         bars: it answers "how long was each category active", regardless
-        of whether activities overlapped in wall-clock terms.
+        of whether activities overlapped in wall-clock terms.  Served
+        from running aggregates in O(1).
         """
-        total = 0.0
-        for iv in self.intervals:
-            if phase is not None and iv.phase is not phase:
-                continue
-            if resource is not None and iv.resource != resource:
-                continue
-            total += iv.duration
-        return total
+        if phase is None and resource is None:
+            return self._busy_total
+        if resource is None:
+            return self._busy_by_phase.get(phase, 0.0)
+        if phase is None:
+            return self._busy_by_resource.get(resource, 0.0)
+        return self._busy_by_pair.get((phase, resource), 0.0)
 
     def by_phase(self) -> dict[Phase, float]:
         """Busy time per phase for every phase present in the trace."""
-        out: dict[Phase, float] = {}
-        for iv in self.intervals:
-            out[iv.phase] = out.get(iv.phase, 0.0) + iv.duration
-        return out
+        return dict(self._busy_by_phase)
+
+    def by_resource(self) -> dict[str, float]:
+        """Busy time per resource for every resource in the trace."""
+        return dict(self._busy_by_resource)
+
+    def bytes_by_phase(self) -> dict[Phase, int]:
+        """Moved bytes per phase (phases with a nonzero total only)."""
+        return dict(self._bytes_by_phase)
+
+    def ops(self, phase: Phase | None = None) -> int:
+        """Number of recorded intervals, optionally for one phase."""
+        if phase is None:
+            return len(self._starts)
+        return self._ops_by_phase.get(phase, 0)
 
     def bytes_moved(self, phase: Phase | None = None) -> int:
         """Total bytes moved by matching transfer intervals."""
-        return sum(iv.nbytes for iv in self.intervals
-                   if phase is None or iv.phase is phase)
+        if phase is None:
+            return self._bytes_total
+        return self._bytes_by_phase.get(phase, 0)
 
     def makespan(self) -> float:
         """End of the last interval (0.0 for an empty trace)."""
-        if not self.intervals:
-            return 0.0
-        return max(iv.end for iv in self.intervals)
+        return self._max_end
+
+    # -- composition ----------------------------------------------------
 
     def filter(self, phases: Iterable[Phase]) -> "Trace":
         """A new trace containing only intervals in ``phases``."""
         wanted = set(phases)
-        return Trace([iv for iv in self.intervals if iv.phase in wanted])
+        out = Trace()
+        for row in self.rows():
+            if row[2] in wanted:
+                out.record_raw(*row)
+        return out
 
     def extend(self, other: "Trace") -> None:
         """Append every interval of ``other`` (used to merge sub-traces)."""
-        self.intervals.extend(other.intervals)
+        for row in other.rows():
+            self.record_raw(*row)
 
     def clear(self) -> None:
-        self.intervals.clear()
+        self._starts.clear()
+        self._ends.clear()
+        self._phases.clear()
+        self._resources.clear()
+        self._labels.clear()
+        self._nbytes.clear()
+        self._materialized = None
+        self._busy_total = 0.0
+        self._bytes_total = 0
+        self._max_end = 0.0
+        self._busy_by_phase.clear()
+        self._busy_by_resource.clear()
+        self._busy_by_pair.clear()
+        self._bytes_by_phase.clear()
+        self._ops_by_phase.clear()

@@ -1,0 +1,72 @@
+"""The parallel bench runner: deterministic merge, sweep parity."""
+
+import pytest
+
+from repro.bench.parallel import default_workers, parallel_sweep, run_parallel
+from repro.bench.sweeps import SweepPoint, sweep
+from repro.errors import ConfigError
+
+
+def _square(x):
+    return x * x
+
+
+def _weighted(a, b):
+    return a * 10 + b
+
+
+def _point(staging, n):
+    # A fake experiment: makespan depends deterministically on params.
+    return SweepPoint(params={}, makespan=staging * 0.001 + n,
+                      extra={"chunks": staging // max(n, 1)})
+
+
+def _slow_then_fast(x):
+    # Later submissions finish first; merge order must not care.
+    import time
+    time.sleep(0.05 if x == 0 else 0.0)
+    return x
+
+
+def test_run_parallel_preserves_submission_order():
+    assert run_parallel(_square, [3, 1, 4, 1, 5], workers=2) == \
+        [9, 1, 16, 1, 25]
+
+
+def test_run_parallel_merge_ignores_completion_order():
+    assert run_parallel(_slow_then_fast, [0, 1, 2, 3], workers=4) == \
+        [0, 1, 2, 3]
+
+
+def test_run_parallel_inline_fallback():
+    # workers<=1 must not spawn a pool (lambdas aren't picklable).
+    assert run_parallel(lambda x: x + 1, [1, 2, 3], workers=1) == [2, 3, 4]
+
+
+def test_run_parallel_star():
+    assert run_parallel(_weighted, [(1, 2), (3, 4)], workers=2,
+                        star=True) == [12, 34]
+
+
+def test_parallel_sweep_matches_sequential_sweep():
+    grid = {"staging": [1000, 2000], "n": [1, 2, 5]}
+    seq = sweep(_point, grid)
+    par = parallel_sweep(_point, grid, workers=2)
+    assert [(p.params, p.makespan, p.extra) for p in seq] == \
+        [(p.params, p.makespan, p.extra) for p in par]
+
+
+def test_parallel_sweep_bare_floats():
+    rows = parallel_sweep(_square, {"x": [2, 3]}, workers=1)
+    assert [(r.params["x"], r.makespan) for r in rows] == [(2, 4.0), (3, 9.0)]
+
+
+def test_parallel_sweep_validation():
+    with pytest.raises(ConfigError):
+        parallel_sweep(_square, {})
+    with pytest.raises(ConfigError):
+        parallel_sweep(_square, {"x": []})
+
+
+def test_default_workers_bounds():
+    assert 1 <= default_workers() <= 8

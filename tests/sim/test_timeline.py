@@ -121,3 +121,77 @@ def test_reset_clears_everything():
     tl.reset()
     assert len(tl.trace) == 0
     assert tl.charge("gpu", 1.0, Phase.GPU_COMPUTE).start == 0.0
+
+
+def test_resource_reregistration_conflict_raises():
+    tl = Timeline()
+    tl.resource("nvme", slots=2)
+    with pytest.raises(SimulationError, match="conflicting re-registration"):
+        tl.resource("nvme", slots=3)
+    # Fetching without a slot count, or with the registered one, is fine.
+    assert tl.resource("nvme").slots == 2
+    assert tl.resource("nvme", slots=2).slots == 2
+
+
+def test_resource_slotless_fetch_then_conflict():
+    tl = Timeline()
+    tl.charge("ssd.read", 1.0, Phase.IO_READ)  # registers with 1 slot
+    with pytest.raises(SimulationError):
+        tl.resource("ssd.read", slots=4)
+
+
+def test_charge_path_converges_under_contention():
+    """Multi-resource negotiation against resources whose schedules are
+    already fragmented must settle on a start feasible for every member
+    (the structural-convergence guarantee)."""
+    tl = Timeline()
+    # Fragment three resources with mutually offset bookings.
+    for i in range(12):
+        tl.charge("a", 0.5, Phase.IO_READ, ready=i * 1.0)
+        tl.charge("b", 0.5, Phase.IO_READ, ready=i * 1.0 + 0.25)
+        tl.charge("c", 0.5, Phase.IO_READ, ready=i * 1.0 + 0.5)
+    done = tl.charge_path(["a", "b", "c"], 0.75, Phase.DEV_TRANSFER)
+    # The negotiated interval must be idle on all three members.
+    for name in ("a", "b", "c"):
+        res = tl.resource(name)
+        assert res.earliest_start(done.start, 0.0) <= done.start + 1e-12
+    # And later path charges keep converging as fragmentation grows.
+    prev = done
+    for _ in range(10):
+        nxt = tl.charge_path(["a", "b", "c"], 0.75, Phase.DEV_TRANSFER,
+                             ready=prev.start)
+        assert nxt.start >= prev.start
+        prev = nxt
+
+
+def test_charge_batch_matches_charge_loop():
+    ops = [(0.5, 0.0), (0.25, 3.0, "lbl"), (1.0, 0.2, "x", 64)]
+    tl_loop, tl_batch = Timeline(), Timeline()
+    loop = [tl_loop.charge("dev", d, Phase.IO_READ, ready=r,
+                           label=rest[0] if rest else "",
+                           nbytes=rest[1] if len(rest) > 1 else 0)
+            for d, r, *rest in ops]
+    batch = tl_batch.charge_batch("dev", ops, Phase.IO_READ)
+    assert [(c.start, c.end) for c in loop] == \
+        [(c.start, c.end) for c in batch]
+    assert list(tl_loop.trace.rows()) == list(tl_batch.trace.rows())
+
+
+def test_charge_path_batch_matches_charge_path_loop():
+    ops = [(0.5, 0.0), (0.5, 0.0), (0.25, 0.1, "hop", 128)]
+    tl_loop, tl_batch = Timeline(), Timeline()
+    loop = [tl_loop.charge_path(["a", "b"], d, Phase.DEV_TRANSFER, ready=r,
+                                label=rest[0] if rest else "",
+                                nbytes=rest[1] if len(rest) > 1 else 0)
+            for d, r, *rest in ops]
+    batch = tl_batch.charge_path_batch(["a", "b"], ops, Phase.DEV_TRANSFER)
+    assert [(c.start, c.end) for c in loop] == \
+        [(c.start, c.end) for c in batch]
+    assert list(tl_loop.trace.rows()) == list(tl_batch.trace.rows())
+
+
+def test_charge_path_batch_rejects_negative_duration():
+    tl = Timeline()
+    with pytest.raises(SimulationError, match="negative duration"):
+        tl.charge_path_batch(["a"], [(1.0, 0.0), (-0.5, 0.0)],
+                             Phase.IO_READ)
