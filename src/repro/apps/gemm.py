@@ -359,11 +359,18 @@ class GemmApp(NorthupProgram):
         gpu = ctx.get_device(ProcessorKind.GPU)
 
         def kernel():
-            a = sys_.fetch(lv.a, np.float32, shape=(lv.m, lv.k))
-            b = sys_.fetch(lv.b, np.float32, shape=(lv.k, lv.n))
-            c = sys_.fetch(lv.c, np.float32, shape=(lv.m, lv.n))
+            # Views where the backend allows them (leaf buffers are
+            # in-memory): the kernel reads operands in place and
+            # accumulates straight into C, like a GPU kernel on device
+            # memory.  Falls back to fetch/preload round-trip copies on
+            # view-less backends.
+            a, _ = sys_.host_array(lv.a, np.float32, shape=(lv.m, lv.k))
+            b, _ = sys_.host_array(lv.b, np.float32, shape=(lv.k, lv.n))
+            c, c_in_place = sys_.host_array(lv.c, np.float32,
+                                            shape=(lv.m, lv.n), writable=True)
             c += a @ b
-            sys_.preload(lv.c, c)
+            if not c_in_place:
+                sys_.preload(lv.c, c)
 
         sys_.launch(gpu, gemm_cost(lv.m, lv.k, lv.n),
                     reads=(lv.a, lv.b), writes=(lv.c,), fn=kernel,

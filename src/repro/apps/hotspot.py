@@ -311,10 +311,17 @@ class HotspotApp(NorthupProgram):
         pcol = lv.cols + 2 * lv.halo
 
         def kernel():
-            t = sys_.fetch(lv.t_pad, np.float32, shape=(prow, pcol))
-            p = sys_.fetch(lv.p_pad, np.float32, shape=(prow, pcol))
+            # In-place views over the staged tiles (fetch/preload copies
+            # only on view-less backends).
+            t, _ = sys_.host_array(lv.t_pad, np.float32, shape=(prow, pcol))
+            p, _ = sys_.host_array(lv.p_pad, np.float32, shape=(prow, pcol))
             out = hotspot_multistep(t, p, self.params, lv.halo, lv.edges)
-            sys_.preload(lv.out, np.ascontiguousarray(out))
+            dst = sys_.view_array(lv.out, np.float32, shape=out.shape,
+                                  writable=True)
+            if dst is None:
+                sys_.preload(lv.out, np.ascontiguousarray(out))
+            else:
+                np.copyto(dst, out)
 
         sys_.launch(gpu, hotspot_cost(prow, pcol, steps=lv.halo),
                     reads=(lv.t_pad, lv.p_pad), writes=(lv.out,), fn=kernel,

@@ -161,7 +161,10 @@ class ReduceApp(NorthupProgram):
         gpu = ctx.get_device(ProcessorKind.GPU)
 
         def kernel():
-            data = sys_.fetch(lv.data, np.float32, count=lv.n * 4)
+            # Fold over a zero-copy view of the chunk (fetch copies only
+            # on view-less backends); the 8-byte partial goes through
+            # preload either way.
+            data, _ = sys_.host_array(lv.data, np.float32, count=lv.n * 4)
             sys_.preload(lv.out, np.array([self.op.fold(data)],
                                           dtype=np.float64))
 

@@ -126,8 +126,16 @@ class SortApp(NorthupProgram):
         proc = ctx.get_device()
 
         def kernel():
-            vals = sys_.fetch(lv.data, np.float32, count=lv.n * ELEM)
-            sys_.preload(lv.data, np.sort(vals))
+            # Sort the run in place through a zero-copy view; the
+            # fetch/sort/preload round trip remains for view-less
+            # backends.
+            vals = sys_.view_array(lv.data, np.float32, count=lv.n * ELEM,
+                                   writable=True)
+            if vals is None:
+                sys_.preload(lv.data, np.sort(
+                    sys_.fetch(lv.data, np.float32, count=lv.n * ELEM)))
+            else:
+                vals.sort()
 
         sys_.launch(proc, sort_cost(lv.n), reads=(lv.data,),
                     writes=(lv.data,), fn=kernel, label=f"sort {lv.n}")
@@ -238,7 +246,13 @@ class SortApp(NorthupProgram):
             merged = np.sort(np.concatenate(parts)) if parts else \
                 np.empty(0, dtype=np.float32)
             if merged.size:
-                sys_.preload(out_buf, merged)
+                out_view = sys_.view_array(out_buf, np.float32,
+                                           count=merged.size * ELEM,
+                                           writable=True)
+                if out_view is None:
+                    sys_.preload(out_buf, merged)
+                else:
+                    np.copyto(out_view, merged)
                 sys_.launch(proc, merge_cost(merged.size, k),
                             reads=tuple(in_bufs), writes=(out_buf,),
                             label=f"merge {merged.size}")

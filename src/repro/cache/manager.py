@@ -33,7 +33,6 @@ bytes always move eagerly, so results are bit-identical either way.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -294,11 +293,15 @@ class CacheManager:
             done = system._charge_edge(edge_src, edge_dst, spec.nbytes,
                                        ready=end, label=label)
             end = done.end
-        t0 = time.perf_counter()
-        for off, payload in spec.read_payloads(src_node.device):
-            node.device.write(block.handle.alloc_id,
-                              block.handle.base_offset + off, payload)
-        system.wall.note(time.perf_counter() - t0, spec.nbytes)
+        # Physical fill: the strided source window lands packed row-major
+        # in the block, as one vectored transfer.
+        if spec.is_strided:
+            system._transfer_2d(src_node, spec.src, spec.offset, spec.stride,
+                                node, block.handle, 0, spec.row_bytes,
+                                rows=spec.rows, row_bytes=spec.row_bytes)
+        else:
+            system._transfer(src_node, spec.src, spec.offset, node,
+                             block.handle, 0, spec.nbytes)
         spec.src.note_read(end)
         block.handle.note_write(end)
 
@@ -359,12 +362,8 @@ class CacheManager:
             ready=src.ready_at, label=label or "write-back")
         self._writebacks[key] = wb
         stats.writebacks_deferred += 1
-        t0 = time.perf_counter()
-        payload = src_node.device.read(src.alloc_id,
-                                       src.base_offset + src_offset, nbytes)
-        dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
-                              payload)
-        system.wall.note(time.perf_counter() - t0, nbytes)
+        system._transfer(src_node, src, src_offset, dst_node, dst,
+                         dst_offset, nbytes)
         dst.bump_version()  # content changed; cached views are stale
         system.charge_runtime(1)
         return MoveResult(start=src.ready_at, end=src.ready_at,

@@ -67,15 +67,3 @@ class FetchSpec:
     @property
     def is_strided(self) -> bool:
         return self.rows is not None
-
-    def read_payloads(self, device):
-        """Yield (block_offset, payload) pairs reading the region from
-        the source node's device (packed row-major into the block)."""
-        base = self.src.base_offset + self.offset
-        if not self.is_strided:
-            yield 0, device.read(self.src.alloc_id, base, self.nbytes)
-            return
-        for r in range(self.rows):
-            yield (r * self.row_bytes,
-                   device.read(self.src.alloc_id, base + r * self.stride,
-                               self.row_bytes))

@@ -208,6 +208,16 @@ def fetch_data_release(ptr: BufferHandle) -> None:
     _ctx().system.fetch_release(ptr)
 
 
+def view_data(ptr: BufferHandle, dtype, shape=None, offset: int = 0, *,
+              writable: bool = False):
+    """Zero-copy host view of a buffer (Section III-D: movement "can be
+    implemented with memory mapping functions too"), or ``None`` when
+    the node's backend cannot expose one -- see
+    :meth:`repro.core.system.System.view_array`."""
+    return _ctx().system.view_array(ptr, dtype, shape, offset,
+                                    writable=writable)
+
+
 def cache_stats():
     """Merged hit/miss/eviction/prefetch counters of every node cache in
     the ambient session's system (a :class:`repro.cache.stats.CacheStats`)."""

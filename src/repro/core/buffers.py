@@ -29,7 +29,78 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import AllocationError, TransferError
+
+
+class ArrayPool:
+    """Size-bucketed free list of uint8 staging arrays.
+
+    Chunked programs allocate and release identically-sized staging
+    buffers thousands of times per run; ``np.zeros`` per cycle pays an
+    allocator round-trip and a fresh set of first-touch page faults
+    every time.  The pool recycles the arrays instead: ``take`` returns
+    a zero-filled array of exactly ``nbytes`` (reusing a retired one
+    when a same-size bucket holds one), ``give`` retires an array back
+    into its bucket.
+
+    Retention is bounded twice over -- at most ``max_per_size`` arrays
+    per distinct size and ``max_bytes`` held overall -- so a pathological
+    size sweep degrades to plain allocation instead of hoarding memory.
+
+    An array handed back with ``give`` must no longer be referenced by
+    the caller: the next ``take`` of that size may hand out the same
+    storage.  (This is the same contract a ``free``/``malloc`` pair has;
+    the backends honour it by only retiring buffers on ``destroy``.)
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024,
+                 max_per_size: int = 4) -> None:
+        self.max_bytes = max_bytes
+        self.max_per_size = max_per_size
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._held_bytes = 0
+        self.reuses = 0
+        self.fresh = 0
+        self.retired = 0
+        self.dropped = 0
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently parked in the pool's buckets."""
+        return self._held_bytes
+
+    def take(self, nbytes: int, *, zero: bool = True) -> np.ndarray:
+        """A 1-D uint8 array of exactly ``nbytes`` (zero-filled unless
+        ``zero=False``, for scratch space that is fully overwritten)."""
+        bucket = self._free.get(nbytes)
+        if bucket:
+            arr = bucket.pop()
+            self._held_bytes -= nbytes
+            self.reuses += 1
+            if zero:
+                arr.fill(0)
+            return arr
+        self.fresh += 1
+        return (np.zeros if zero else np.empty)(nbytes, dtype=np.uint8)
+
+    def give(self, arr: np.ndarray) -> None:
+        """Retire ``arr`` into the pool (dropped when over budget)."""
+        nbytes = arr.size
+        bucket = self._free.setdefault(nbytes, [])
+        if (nbytes == 0 or len(bucket) >= self.max_per_size
+                or self._held_bytes + nbytes > self.max_bytes):
+            self.dropped += 1
+            return
+        bucket.append(arr)
+        self._held_bytes += nbytes
+        self.retired += 1
+
+    def clear(self) -> None:
+        """Drop every retained array (backend teardown)."""
+        self._free.clear()
+        self._held_bytes = 0
 
 
 @dataclass

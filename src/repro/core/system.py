@@ -34,6 +34,7 @@ from repro.compute.processor import KernelCost, Processor
 from repro.core.buffers import BufferHandle, BufferRegistry
 from repro.core.profiler import Breakdown, profile_trace
 from repro.errors import CacheError, CapacityError, TransferError
+from repro.memory import reference
 from repro.memory.device import StorageKind
 from repro.sim.timeline import Completion, Timeline
 from repro.sim.trace import Phase
@@ -134,8 +135,15 @@ class System:
     """
 
     def __init__(self, tree: TopologyTree, *,
-                 cache: CacheConfig | None = None) -> None:
+                 cache: CacheConfig | None = None,
+                 zero_copy: bool = True) -> None:
         self.tree = tree
+        #: Route physical byte movement through the zero-copy data plane
+        #: (``Device.copy_into`` view/pooled-fd/vectored paths).  False
+        #: retains the historical copy-out + copy-in path
+        #: (:mod:`repro.memory.reference`) -- the benchmark baseline.
+        #: Virtual time and buffer contents are identical either way.
+        self.zero_copy = zero_copy
         self.timeline = Timeline()
         self.registry = BufferRegistry()
         self.runtime_ops = 0
@@ -172,6 +180,48 @@ class System:
         self.runtime_ops += ops
         self.timeline.charge("host", ops * RUNTIME_OP_COST, Phase.RUNTIME,
                              label=label)
+
+    # -- physical byte movement (the data plane) ---------------------------
+
+    def _transfer(self, src_node: TreeNode, src: BufferHandle, src_offset: int,
+                  dst_node: TreeNode, dst: BufferHandle, dst_offset: int,
+                  nbytes: int) -> None:
+        """Move ``nbytes`` between two handles' backends, charging wall
+        time.  Virtual time is the caller's business; this is Listing
+        4's physical half, dispatched on the endpoint backend pair by
+        :meth:`~repro.memory.device.Device.copy_into`."""
+        t0 = time.perf_counter()
+        if self.zero_copy:
+            src_node.device.copy_into(
+                dst_node.device, src.alloc_id, src.base_offset + src_offset,
+                dst.alloc_id, dst.base_offset + dst_offset, nbytes)
+        else:
+            reference.naive_copy(
+                src_node.device.backend, src.alloc_id,
+                src.base_offset + src_offset, dst_node.device.backend,
+                dst.alloc_id, dst.base_offset + dst_offset, nbytes)
+        self.wall.note(time.perf_counter() - t0, nbytes)
+
+    def _transfer_2d(self, src_node: TreeNode, src: BufferHandle,
+                     src_offset: int, src_stride: int, dst_node: TreeNode,
+                     dst: BufferHandle, dst_offset: int, dst_stride: int, *,
+                     rows: int, row_bytes: int) -> None:
+        """Strided 2-D variant of :meth:`_transfer`: one vectored
+        gathered transfer instead of a per-row Python loop."""
+        t0 = time.perf_counter()
+        if self.zero_copy:
+            src_node.device.copy_into_2d(
+                dst_node.device, src.alloc_id, src.base_offset + src_offset,
+                src_stride, dst.alloc_id, dst.base_offset + dst_offset,
+                dst_stride, rows=rows, row_bytes=row_bytes)
+        else:
+            reference.naive_copy_2d(
+                src_node.device.backend, src.alloc_id,
+                src.base_offset + src_offset, src_stride,
+                dst_node.device.backend, dst.alloc_id,
+                dst.base_offset + dst_offset, dst_stride, rows=rows,
+                row_bytes=row_bytes)
+        self.wall.note(time.perf_counter() - t0, rows * row_bytes)
 
     # -- Table I: unified data management ------------------------------------
 
@@ -290,12 +340,8 @@ class System:
             assert start is not None
 
         # Physical byte movement (eager; virtual time already charged).
-        t0 = time.perf_counter()
-        payload = src_node.device.read(src.alloc_id,
-                                       src.base_offset + src_offset, nbytes)
-        dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
-                              payload)
-        self.wall.note(time.perf_counter() - t0, nbytes)
+        self._transfer(src_node, src, src_offset, dst_node, dst, dst_offset,
+                       nbytes)
 
         src.note_read(end)
         dst.note_write(end)
@@ -375,15 +421,9 @@ class System:
                 hops += 1
             assert start is not None
 
-        t0 = time.perf_counter()
-        for r in range(rows):
-            payload = src_node.device.read(
-                src.alloc_id, src.base_offset + src_offset + r * src_stride,
-                row_bytes)
-            dst_node.device.write(
-                dst.alloc_id, dst.base_offset + dst_offset + r * dst_stride,
-                payload)
-        self.wall.note(time.perf_counter() - t0, nbytes)
+        self._transfer_2d(src_node, src, src_offset, src_stride, dst_node,
+                          dst, dst_offset, dst_stride, rows=rows,
+                          row_bytes=row_bytes)
         src.note_read(end)
         dst.note_write(end)
         self.charge_runtime(2)
@@ -504,15 +544,9 @@ class System:
                     max(m.src.ready_at, m.dst.last_read_end),
                     m.label, m.nbytes) for m in pending]
             done = self.timeline.charge_path_batch(resources, ops, phase)
-            read = src_node.device.read
-            write = dst_node.device.write
             for m, c in zip(pending, done):
-                t0 = time.perf_counter()
-                payload = read(m.src.alloc_id,
-                               m.src.base_offset + m.src_offset, m.nbytes)
-                write(m.dst.alloc_id, m.dst.base_offset + m.dst_offset,
-                      payload)
-                self.wall.note(time.perf_counter() - t0, m.nbytes)
+                self._transfer(src_node, m.src, m.src_offset, dst_node,
+                               m.dst, m.dst_offset, m.nbytes)
                 m.src.note_read(c.end)
                 m.dst.note_write(c.end)
                 results.append(MoveResult(start=c.start, end=c.end,
@@ -697,22 +731,14 @@ class System:
             label=f"cache-hit:{label or src.label or src.buffer_id}",
             nbytes=spec.nbytes)
         # Local copy block -> destination region; no edge is crossed.
-        t0 = time.perf_counter()
         bh = block.handle
         if spec.is_strided:
-            for r in range(spec.rows):
-                payload = dst_node.device.read(
-                    bh.alloc_id, bh.base_offset + r * spec.row_bytes,
-                    spec.row_bytes)
-                dst_node.device.write(
-                    dst.alloc_id,
-                    dst.base_offset + dst_offset + r * dst_stride, payload)
+            self._transfer_2d(dst_node, bh, 0, spec.row_bytes, dst_node, dst,
+                              dst_offset, dst_stride, rows=spec.rows,
+                              row_bytes=spec.row_bytes)
         else:
-            payload = dst_node.device.read(bh.alloc_id, bh.base_offset,
-                                           spec.nbytes)
-            dst_node.device.write(dst.alloc_id, dst.base_offset + dst_offset,
-                                  payload)
-        self.wall.note(time.perf_counter() - t0, spec.nbytes)
+            self._transfer(dst_node, bh, 0, dst_node, dst, dst_offset,
+                           spec.nbytes)
         bh.note_read(done.end)
         dst.note_write(done.end)
         self.charge_runtime(1)
@@ -735,22 +761,14 @@ class System:
             self.timeline.charge(
                 "host", SETUP_COST[dst_node.device.kind], Phase.SETUP,
                 label=f"cache-alloc@{dst_node.node_id}")
-            t0 = time.perf_counter()
             bh = block.handle
             if spec.is_strided:
-                for r in range(spec.rows):
-                    payload = dst_node.device.read(
-                        dst.alloc_id,
-                        dst.base_offset + dst_offset + r * dst_stride,
-                        spec.row_bytes)
-                    dst_node.device.write(
-                        bh.alloc_id, bh.base_offset + r * spec.row_bytes,
-                        payload)
+                self._transfer_2d(dst_node, dst, dst_offset, dst_stride,
+                                  dst_node, bh, 0, spec.row_bytes,
+                                  rows=spec.rows, row_bytes=spec.row_bytes)
             else:
-                payload = dst_node.device.read(
-                    dst.alloc_id, dst.base_offset + dst_offset, spec.nbytes)
-                dst_node.device.write(bh.alloc_id, bh.base_offset, payload)
-            self.wall.note(time.perf_counter() - t0, spec.nbytes)
+                self._transfer(dst_node, dst, dst_offset, dst_node, bh, 0,
+                               spec.nbytes)
             bh.note_write(end)
         self.cache.engine.issue(dst_node)
 
@@ -888,6 +906,64 @@ class System:
                                count)
         arr = raw.view(dtype)
         return arr.reshape(shape) if shape is not None else arr
+
+    def _host_window(self, handle: BufferHandle, dtype, shape, offset: int,
+                     count: int | None) -> int:
+        """Shared fetch/view argument math: bytes of the typed window."""
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            if shape is not None:
+                count = int(np.prod(shape)) * itemsize
+            else:
+                count = handle.nbytes - offset
+        if offset < 0 or offset + count > handle.nbytes:
+            raise TransferError(
+                f"access of {count} bytes at offset {offset} overflows "
+                f"{handle!r}")
+        return count
+
+    def view_array(self, handle: BufferHandle, dtype, shape=None,
+                   offset: int = 0, count: int | None = None, *,
+                   writable: bool = False) -> np.ndarray | None:
+        """A zero-copy typed view of a buffer's bytes, or ``None`` when
+        the node's backend cannot expose one (plain file storage).
+
+        Untimed host access like :meth:`fetch`/:meth:`preload`, but
+        without the round-trip copies: kernels read inputs in place and
+        write results straight into the backing store.  ``writable=True``
+        marks the contents changed (cache staleness) and returns a
+        writable view; otherwise the view is marked read-only so a
+        caller cannot mutate backend state by accident.  The view is
+        only valid while the handle is live.
+        """
+        self.registry.check_live(handle)
+        count = self._host_window(handle, dtype, shape, offset, count)
+        node = self.node_of(handle)
+        raw = node.device.try_view(handle.alloc_id,
+                                   handle.base_offset + offset, count)
+        if raw is None:
+            return None
+        if writable:
+            handle.bump_version()  # cached copies of old contents are stale
+        else:
+            raw = raw.view()
+            raw.flags.writeable = False
+        arr = raw.view(dtype)
+        return arr.reshape(shape) if shape is not None else arr
+
+    def host_array(self, handle: BufferHandle, dtype, shape=None,
+                   offset: int = 0, count: int | None = None, *,
+                   writable: bool = False) -> tuple[np.ndarray, bool]:
+        """``(array, is_view)``: a zero-copy view when the backend
+        supports one, else a :meth:`fetch` copy.  When ``is_view`` is
+        False and the caller mutates the array, it must write it back
+        with :meth:`preload`; when True, mutations (only allowed with
+        ``writable=True``) already landed in the buffer."""
+        view = self.view_array(handle, dtype, shape, offset, count,
+                               writable=writable)
+        if view is not None:
+            return view, True
+        return self.fetch(handle, dtype, shape, offset, count), False
 
     # -- reporting -----------------------------------------------------------
 

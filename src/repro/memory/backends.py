@@ -14,13 +14,42 @@ Both expose byte-addressed ``read``/``write`` on opaque integer ids, the
 Python analogue of the paper's ``void *`` interface (Table I): the caller
 never learns whether the id names an array, a file descriptor, or (in a
 real system) a ``cl_mem``.
+
+Zero-copy data plane
+--------------------
+``read``/``write`` are the safe, always-available copying interface
+(``read`` returns an independent array the caller may mutate freely).
+On top of it sits a set of *capability* methods the runtime's transfer
+paths probe for, so a move between two backends degrades gracefully from
+"one vectorised copy" to "copy out, copy in":
+
+``try_view`` / ``try_view_2d``
+    A writable zero-copy window into the backing storage (``None`` when
+    the backend cannot expose one).  :class:`MemBackend` always can;
+    :class:`FileBackend` only in ``mmap_mode``.
+``read_into``
+    Fill a caller-provided array without an intermediate copy (a single
+    ``np.copyto`` or a single ``preadv`` straight into the destination).
+``gather_2d`` / ``scatter_2d``
+    Vectored strided transfers: a 2-D row shard or ghost zone moves as
+    one gathered operation (a strided NumPy copy, or one spanning
+    ``pread``/``pwrite`` plus a strided copy) instead of a Python loop
+    of per-row calls.
+
+:class:`FileBackend` keeps an LRU-capped pool of open descriptors and
+issues positioned I/O (``os.pread``/``os.pwrite``) against them: no
+per-operation ``open`` and no ``.tobytes()`` staging copy on writes.
+The pre-optimisation per-op ``open``+copy path is retained verbatim in
+:mod:`repro.memory.reference` as the benchmark baseline.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import shutil
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 
 import numpy as np
 
@@ -36,6 +65,14 @@ def _as_bytes(data: np.ndarray | bytes | bytearray | memoryview) -> np.ndarray:
     return np.frombuffer(data, dtype=np.uint8)
 
 
+def _strided_2d(buf: np.ndarray, offset: int, rows: int, row_bytes: int,
+                stride: int) -> np.ndarray:
+    """A (rows, row_bytes) strided window over ``buf`` starting at
+    ``offset``.  Caller has validated the bounds."""
+    return np.lib.stride_tricks.as_strided(
+        buf[offset:], shape=(rows, row_bytes), strides=(stride, 1))
+
+
 class DataBackend(ABC):
     """Byte store keyed by opaque allocation ids."""
 
@@ -49,7 +86,12 @@ class DataBackend(ABC):
 
     @abstractmethod
     def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
-        """Return ``nbytes`` bytes starting at ``offset`` as a uint8 array."""
+        """Return ``nbytes`` bytes starting at ``offset`` as a uint8 array.
+
+        The result is always an independent copy: callers may mutate it
+        without touching backend state (the aliasing-safety tests pin
+        this down for every backend).
+        """
 
     @abstractmethod
     def write(self, alloc_id: int, offset: int,
@@ -64,6 +106,42 @@ class DataBackend(ABC):
     def close(self) -> None:
         """Release every buffer and any external resources."""
 
+    # -- zero-copy capabilities (optional; safe defaults) ------------------
+
+    def try_view(self, alloc_id: int, offset: int,
+                 nbytes: int) -> np.ndarray | None:
+        """A writable zero-copy uint8 window, or ``None`` if this backend
+        cannot expose one.  Mutations through the view hit the backing
+        storage directly; the view is only valid while the buffer lives."""
+        return None
+
+    def try_view_2d(self, alloc_id: int, offset: int, rows: int,
+                    row_bytes: int, stride: int) -> np.ndarray | None:
+        """Strided 2-D variant of :meth:`try_view` (rows x row_bytes)."""
+        return None
+
+    def read_into(self, alloc_id: int, offset: int, out: np.ndarray) -> None:
+        """Fill ``out`` (uint8, ``out.size`` bytes) from ``offset``.
+
+        Default: a copying read.  Backends override this to write the
+        destination directly (``np.copyto`` / ``preadv``).
+        """
+        out[...] = self.read(alloc_id, offset, out.size)
+
+    def gather_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                  stride: int, out: np.ndarray) -> None:
+        """Read a strided 2-D region into ``out`` (shape (rows, row_bytes),
+        any strides).  Default: one copying read per row."""
+        for r in range(rows):
+            out[r] = self.read(alloc_id, offset + r * stride, row_bytes)
+
+    def scatter_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                   stride: int, data: np.ndarray) -> None:
+        """Write ``data`` (shape (rows, row_bytes)) into the strided
+        region.  Default: one write per row."""
+        for r in range(rows):
+            self.write(alloc_id, offset + r * stride, data[r])
+
     # -- shared validation -------------------------------------------------
 
     def _check_range(self, alloc_id: int, offset: int, nbytes: int,
@@ -76,21 +154,51 @@ class DataBackend(ABC):
                 f"access [{offset}, {offset + nbytes}) out of bounds for "
                 f"buffer {alloc_id} of {size} bytes")
 
+    def _check_range_2d(self, alloc_id: int, offset: int, rows: int,
+                        row_bytes: int, stride: int, size: int) -> int:
+        """Validate a strided window; returns its bounding span."""
+        if rows < 0 or row_bytes < 0:
+            raise TransferError(
+                f"negative rows/row_bytes ({rows}, {row_bytes})")
+        if rows and stride < row_bytes:
+            raise TransferError(
+                f"stride {stride} smaller than the row payload {row_bytes}")
+        span = (rows - 1) * stride + row_bytes if rows else 0
+        self._check_range(alloc_id, offset, span, size)
+        return span
+
 
 class MemBackend(DataBackend):
-    """In-process byte arrays; the simulated-device backend."""
+    """In-process byte arrays; the simulated-device backend.
 
-    def __init__(self) -> None:
+    Buffer storage is recycled through an :class:`~repro.core.buffers.
+    ArrayPool`: a release followed by a same-size allocation (the
+    staging-buffer churn of every chunked program) reuses the retired
+    array instead of paying ``np.zeros`` and fresh page faults again.
+    Pass ``pool=None`` explicitly via ``ArrayPool(max_bytes=0)`` to
+    effectively disable retention.
+    """
+
+    def __init__(self, *, pool=None) -> None:
+        if pool is None:
+            # Deferred import: repro.core.buffers is a leaf module, but
+            # importing it at module scope would cycle through the
+            # repro.core package __init__ back into repro.memory.
+            from repro.core.buffers import ArrayPool
+            pool = ArrayPool()
+        self.pool = pool
         self._bufs: dict[int, np.ndarray] = {}
 
     def create(self, alloc_id: int, nbytes: int) -> None:
         if alloc_id in self._bufs:
             raise AllocationError(f"backend already holds id {alloc_id}")
-        self._bufs[alloc_id] = np.zeros(nbytes, dtype=np.uint8)
+        self._bufs[alloc_id] = self.pool.take(nbytes)
 
     def destroy(self, alloc_id: int) -> None:
-        if self._bufs.pop(alloc_id, None) is None:
+        arr = self._bufs.pop(alloc_id, None)
+        if arr is None:
             raise AllocationError(f"backend has no buffer with id {alloc_id}")
+        self.pool.give(arr)
 
     def _buf(self, alloc_id: int) -> np.ndarray:
         try:
@@ -106,11 +214,38 @@ class MemBackend(DataBackend):
     def view(self, alloc_id: int) -> np.ndarray:
         """Zero-copy view of the whole buffer.
 
-        Only :class:`MemBackend` offers views; compute kernels use them to
-        operate in place on leaf buffers, mirroring how a GPU kernel works
-        directly on device memory.
+        Compute kernels use views to operate in place on leaf buffers,
+        mirroring how a GPU kernel works directly on device memory.
         """
         return self._buf(alloc_id)
+
+    def try_view(self, alloc_id: int, offset: int,
+                 nbytes: int) -> np.ndarray | None:
+        buf = self._buf(alloc_id)
+        self._check_range(alloc_id, offset, nbytes, buf.size)
+        return buf[offset:offset + nbytes]
+
+    def try_view_2d(self, alloc_id: int, offset: int, rows: int,
+                    row_bytes: int, stride: int) -> np.ndarray | None:
+        buf = self._buf(alloc_id)
+        self._check_range_2d(alloc_id, offset, rows, row_bytes, stride,
+                             buf.size)
+        return _strided_2d(buf, offset, rows, row_bytes, stride)
+
+    def read_into(self, alloc_id: int, offset: int, out: np.ndarray) -> None:
+        buf = self._buf(alloc_id)
+        self._check_range(alloc_id, offset, out.size, buf.size)
+        np.copyto(out, buf[offset:offset + out.size])
+
+    def gather_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                  stride: int, out: np.ndarray) -> None:
+        src = self.try_view_2d(alloc_id, offset, rows, row_bytes, stride)
+        np.copyto(out, src)
+
+    def scatter_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                   stride: int, data: np.ndarray) -> None:
+        dst = self.try_view_2d(alloc_id, offset, rows, row_bytes, stride)
+        np.copyto(dst, data)
 
     def write(self, alloc_id: int, offset: int,
               data: np.ndarray | bytes | bytearray | memoryview) -> None:
@@ -124,6 +259,55 @@ class MemBackend(DataBackend):
 
     def close(self) -> None:
         self._bufs.clear()
+        self.pool.clear()
+
+
+class _FdPool:
+    """LRU-capped pool of open file descriptors keyed by allocation id.
+
+    The paper's unified API exists to hide per-device interface overhead;
+    opening a file per operation is exactly that overhead.  The pool
+    keeps descriptors open across operations and closes the least
+    recently used one when ``max_open`` is reached, so the backend never
+    exceeds a bounded share of the process fd table.
+    """
+
+    def __init__(self, max_open: int = 128) -> None:
+        if max_open < 1:
+            raise ValueError(f"max_open must be positive, got {max_open}")
+        self.max_open = max_open
+        self._fds: OrderedDict[int, int] = OrderedDict()
+        self.opens = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def get(self, alloc_id: int, path: str) -> int:
+        fd = self._fds.get(alloc_id)
+        if fd is not None:
+            self._fds.move_to_end(alloc_id)
+            self.hits += 1
+            return fd
+        while len(self._fds) >= self.max_open:
+            _, old = self._fds.popitem(last=False)
+            os.close(old)
+            self.evictions += 1
+        fd = os.open(path, os.O_RDWR)
+        self._fds[alloc_id] = fd
+        self.opens += 1
+        return fd
+
+    def drop(self, alloc_id: int) -> None:
+        fd = self._fds.pop(alloc_id, None)
+        if fd is not None:
+            os.close(fd)
+
+    def close_all(self) -> None:
+        for fd in self._fds.values():
+            os.close(fd)
+        self._fds.clear()
+
+    def __len__(self) -> int:
+        return len(self._fds)
 
 
 class FileBackend(DataBackend):
@@ -134,20 +318,53 @@ class FileBackend(DataBackend):
     zeros.  ``fsync`` on write is optional and mirrors the paper's use of
     ``O_SYNC`` for storage writes ("guarantee that the call is synchronous
     when writing to the storage").
+
+    I/O goes through a persistent descriptor pool (:class:`_FdPool`) with
+    positioned reads and writes: no per-operation ``open``/``seek``, and
+    writes hand NumPy arrays straight to ``os.pwrite`` (buffer protocol)
+    instead of staging through ``.tobytes()``.
+
+    ``mmap_mode=True`` additionally maps every file on creation, which
+    upgrades the backend to full view support (``try_view`` and friends
+    return windows into the mapping) -- useful for hot staging buffers
+    that live on a filesystem but are accessed like memory.
+
+    ``close`` removes the root directory only if this backend created
+    it; a user-supplied directory that already existed survives
+    teardown (minus the buffer files themselves).
     """
 
-    def __init__(self, root: str, *, sync_writes: bool = False) -> None:
+    #: A strided file window is fetched with vectored spanning reads when
+    #: the inter-row gap bytes are cheap relative to the per-row syscalls
+    #: they replace: dense when the window is small in absolute terms
+    #: (``span <= SPAN_MIN``) or the total gap is at most
+    #: ``SPAN_GAP_BYTES`` per row -- roughly the bytes one positioned
+    #: read's overhead is worth at page-cache bandwidth.  Beyond that,
+    #: per-row reads skip the gaps instead of paying to read them.
+    SPAN_MIN = 64 << 10
+    SPAN_GAP_BYTES = 8 << 10
+
+    def __init__(self, root: str, *, sync_writes: bool = False,
+                 max_open_fds: int = 128, mmap_mode: bool = False) -> None:
         self.root = root
         self.sync_writes = sync_writes
+        self.mmap_mode = mmap_mode
+        self._owns_root = not os.path.isdir(root)
         os.makedirs(root, exist_ok=True)
         self._paths: dict[int, str] = {}
         self._sizes: dict[int, int] = {}
+        self._fds = _FdPool(max_open_fds)
+        #: alloc id -> (mmap object, uint8 array over it); mmap_mode only.
+        self._maps: dict[int, tuple[mmap.mmap, np.ndarray]] = {}
 
     def _path(self, alloc_id: int) -> str:
         try:
             return self._paths[alloc_id]
         except KeyError:
             raise AllocationError(f"backend has no file for id {alloc_id}") from None
+
+    def _fd(self, alloc_id: int) -> int:
+        return self._fds.get(alloc_id, self._path(alloc_id))
 
     def create(self, alloc_id: int, nbytes: int) -> None:
         if alloc_id in self._paths:
@@ -157,47 +374,243 @@ class FileBackend(DataBackend):
             fh.truncate(nbytes)
         self._paths[alloc_id] = path
         self._sizes[alloc_id] = nbytes
+        if self.mmap_mode and nbytes > 0:
+            fd = os.open(path, os.O_RDWR)
+            try:
+                mm = mmap.mmap(fd, nbytes)
+            finally:
+                os.close(fd)
+            self._maps[alloc_id] = (mm, np.frombuffer(mm, dtype=np.uint8))
 
     def destroy(self, alloc_id: int) -> None:
         path = self._paths.pop(alloc_id, None)
         if path is None:
             raise AllocationError(f"backend has no file for id {alloc_id}")
         self._sizes.pop(alloc_id, None)
+        self._fds.drop(alloc_id)
+        entry = self._maps.pop(alloc_id, None)
+        if entry is not None:
+            mm, arr = entry
+            del entry, arr  # drop the buffer export before closing the map
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - caller kept a view
+                pass
         try:
             os.remove(path)
         except FileNotFoundError:  # pragma: no cover - external interference
             pass
 
+    def _map_array(self, alloc_id: int) -> np.ndarray | None:
+        entry = self._maps.get(alloc_id)
+        return None if entry is None else entry[1]
+
+    def _pread_into(self, alloc_id: int, offset: int, out: np.ndarray) -> None:
+        """One positioned read straight into ``out`` (uint8, contiguous).
+        A short read (defensive; files are sized at create) leaves the
+        sparse-tail semantics intact: the unread remainder reads as
+        zero."""
+        fd = self._fd(alloc_id)
+        got = os.preadv(fd, [out], offset)
+        if got < out.size:
+            out[got:] = 0
+
     def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
-        path = self._path(alloc_id)
+        self._check_range(alloc_id, offset, nbytes,
+                          self._sizes[self._require(alloc_id)])
+        arr = self._map_array(alloc_id)
+        if arr is not None:
+            return arr[offset:offset + nbytes].copy()
+        out = np.empty(nbytes, dtype=np.uint8)
+        self._pread_into(alloc_id, offset, out)
+        return out
+
+    def _require(self, alloc_id: int) -> int:
+        self._path(alloc_id)
+        return alloc_id
+
+    def try_view(self, alloc_id: int, offset: int,
+                 nbytes: int) -> np.ndarray | None:
+        arr = self._map_array(alloc_id)
+        if arr is None:
+            return None
         self._check_range(alloc_id, offset, nbytes, self._sizes[alloc_id])
-        with open(path, "rb") as fh:
-            fh.seek(offset)
-            raw = fh.read(nbytes)
-        if len(raw) < nbytes:
-            # Sparse tail past EOF semantics: unwritten regions read as zero.
-            out = np.zeros(nbytes, dtype=np.uint8)
-            out[:len(raw)] = np.frombuffer(raw, dtype=np.uint8)
-            return out
-        return np.frombuffer(raw, dtype=np.uint8).copy()
+        return arr[offset:offset + nbytes]
+
+    def try_view_2d(self, alloc_id: int, offset: int, rows: int,
+                    row_bytes: int, stride: int) -> np.ndarray | None:
+        arr = self._map_array(alloc_id)
+        if arr is None:
+            return None
+        self._check_range_2d(alloc_id, offset, rows, row_bytes, stride,
+                             self._sizes[alloc_id])
+        return _strided_2d(arr, offset, rows, row_bytes, stride)
+
+    def read_into(self, alloc_id: int, offset: int, out: np.ndarray) -> None:
+        self._check_range(alloc_id, offset, out.size,
+                          self._sizes[self._require(alloc_id)])
+        arr = self._map_array(alloc_id)
+        if arr is not None:
+            np.copyto(out, arr[offset:offset + out.size])
+            return
+        if out.flags.c_contiguous:
+            self._pread_into(alloc_id, offset, out)
+        else:
+            scratch = np.empty(out.size, dtype=np.uint8)
+            self._pread_into(alloc_id, offset, scratch)
+            out[...] = scratch.reshape(out.shape)
+
+    def _span_is_dense(self, rows: int, row_bytes: int, span: int) -> bool:
+        gap_total = span - rows * row_bytes
+        return span <= self.SPAN_MIN or gap_total <= rows * self.SPAN_GAP_BYTES
+
+    def gather_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                  stride: int, out: np.ndarray) -> None:
+        span = self._check_range_2d(alloc_id, offset, rows, row_bytes, stride,
+                                    self._sizes[self._require(alloc_id)])
+        if not rows or not row_bytes:
+            return
+        arr = self._map_array(alloc_id)
+        if arr is not None:
+            np.copyto(out, _strided_2d(arr, offset, rows, row_bytes, stride))
+            return
+        if stride == row_bytes and out.flags.c_contiguous:
+            # Contiguous window: the whole shard is one positioned read.
+            self._pread_into(alloc_id, offset, out.reshape(-1))
+            return
+        if self._span_is_dense(rows, row_bytes, span):
+            if out.ndim == 2 and out.strides[1] == 1:
+                # True vectored read: one preadv per IOV_MAX-sized batch
+                # with destination rows as iovecs and the inter-row gaps
+                # landing in a single reused (cache-hot) scrap buffer --
+                # no spanning temp, no second gather pass.
+                self._preadv_scatter(alloc_id, offset, rows, row_bytes,
+                                     stride, out)
+                return
+            # Destination rows are not contiguous: spanning read into a
+            # temp, then a strided gather in memory.
+            buf = np.empty(span, dtype=np.uint8)
+            self._pread_into(alloc_id, offset, buf)
+            np.copyto(out, _strided_2d(buf, 0, rows, row_bytes, stride))
+            return
+        # Sparse window: per-row positioned reads on the pooled fd,
+        # straight into the destination rows when they are contiguous.
+        fd = self._fd(alloc_id)
+        if out.ndim == 2 and out.strides[1] == 1:
+            for r in range(rows):
+                got = os.preadv(fd, [out[r]], offset + r * stride)
+                if got < row_bytes:
+                    out[r, got:] = 0
+            return
+        row = np.empty(row_bytes, dtype=np.uint8)
+        for r in range(rows):
+            got = os.preadv(fd, [row], offset + r * stride)
+            if got < row_bytes:
+                row[got:] = 0
+            out[r] = row
+
+    #: iovec budget per ``preadv`` call (conservative vs IOV_MAX=1024).
+    _IOV_BATCH = 1024
+
+    def _preadv_scatter(self, alloc_id: int, offset: int, rows: int,
+                        row_bytes: int, stride: int,
+                        out: np.ndarray) -> None:
+        """Gather a strided file window with vectored positioned reads.
+
+        Each ``preadv`` consumes the file span contiguously while the
+        iovec list scatters it: payload rows straight into ``out``,
+        gap bytes into one scrap buffer reused for every gap.  Short
+        reads (sparse tails) zero-fill the unreached row remainders.
+        """
+        fd = self._fd(alloc_id)
+        gap = stride - row_bytes
+        scrap = np.empty(gap, dtype=np.uint8) if gap else None
+        rows_per_call = max(1, self._IOV_BATCH // 2)
+        r0 = 0
+        while r0 < rows:
+            batch = min(rows - r0, rows_per_call)
+            iov: list[np.ndarray] = []
+            expected = 0
+            for r in range(r0, r0 + batch):
+                iov.append(out[r])
+                expected += row_bytes
+                if scrap is not None and r != rows - 1:
+                    iov.append(scrap)
+                    expected += gap
+            got = os.preadv(fd, iov, offset + r0 * stride)
+            if got < expected:
+                # EOF inside the batch: zero everything past ``got``.
+                rem = got
+                for r in range(r0, r0 + batch):
+                    take = min(rem, row_bytes)
+                    rem -= take
+                    if take < row_bytes:
+                        out[r, take:] = 0
+                    if r != rows - 1:
+                        rem -= min(rem, gap)
+            r0 += batch
+
+    def scatter_2d(self, alloc_id: int, offset: int, rows: int, row_bytes: int,
+                   stride: int, data: np.ndarray) -> None:
+        span = self._check_range_2d(alloc_id, offset, rows, row_bytes, stride,
+                                    self._sizes[self._require(alloc_id)])
+        if not rows or not row_bytes:
+            return
+        arr = self._map_array(alloc_id)
+        if arr is not None:
+            np.copyto(_strided_2d(arr, offset, rows, row_bytes, stride), data)
+            if self.sync_writes:
+                self._maps[alloc_id][0].flush()
+            return
+        fd = self._fd(alloc_id)
+        if stride == row_bytes:
+            packed = data if data.flags.c_contiguous else \
+                np.ascontiguousarray(data)
+            os.pwrite(fd, packed.reshape(-1), offset)
+        elif self._span_is_dense(rows, row_bytes, span):
+            # Read-modify-write of the bounding span: one read, one
+            # vectored scatter in memory, one write.  Gap bytes are
+            # preserved by the read.
+            buf = np.empty(span, dtype=np.uint8)
+            self._pread_into(alloc_id, offset, buf)
+            np.copyto(_strided_2d(buf, 0, rows, row_bytes, stride), data)
+            os.pwrite(fd, buf, offset)
+        else:
+            for r in range(rows):
+                row = data[r] if data[r].flags.c_contiguous else \
+                    np.ascontiguousarray(data[r])
+                os.pwrite(fd, row, offset + r * stride)
+        if self.sync_writes:
+            os.fsync(fd)
 
     def write(self, alloc_id: int, offset: int,
               data: np.ndarray | bytes | bytearray | memoryview) -> None:
-        path = self._path(alloc_id)
         raw = _as_bytes(data)
-        self._check_range(alloc_id, offset, raw.size, self._sizes[alloc_id])
-        with open(path, "r+b") as fh:
-            fh.seek(offset)
-            fh.write(raw.tobytes())
+        self._check_range(alloc_id, offset, raw.size,
+                          self._sizes[self._require(alloc_id)])
+        arr = self._map_array(alloc_id)
+        if arr is not None:
+            arr[offset:offset + raw.size] = raw
             if self.sync_writes:
-                fh.flush()
-                os.fsync(fh.fileno())
+                self._maps[alloc_id][0].flush()
+            return
+        fd = self._fd(alloc_id)
+        os.pwrite(fd, raw, offset)
+        if self.sync_writes:
+            os.fsync(fd)
 
     def size_of(self, alloc_id: int) -> int:
         self._path(alloc_id)
         return self._sizes[alloc_id]
 
+    @property
+    def open_fds(self) -> int:
+        """Descriptors currently held by the pool (observability)."""
+        return len(self._fds)
+
     def close(self) -> None:
         for alloc_id in list(self._paths):
             self.destroy(alloc_id)
-        shutil.rmtree(self.root, ignore_errors=True)
+        self._fds.close_all()
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)

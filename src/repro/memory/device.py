@@ -24,6 +24,18 @@ from repro.memory.allocator import FreeListAllocator
 from repro.memory.backends import DataBackend, MemBackend
 from repro.memory.units import fmt_bandwidth, fmt_bytes
 
+#: Shared scratch pool for opaque->opaque (file->file) staging; created
+#: lazily to keep the module import cycle-free (see MemBackend.__init__).
+_SCRATCH_POOL = None
+
+
+def _scratch_pool():
+    global _SCRATCH_POOL
+    if _SCRATCH_POOL is None:
+        from repro.core.buffers import ArrayPool
+        _SCRATCH_POOL = ArrayPool()
+    return _SCRATCH_POOL
+
 
 class StorageKind(enum.Enum):
     """Interface class of a memory/storage node.
@@ -174,6 +186,82 @@ class Device:
 
     def write(self, alloc_id: int, offset: int, data) -> None:
         self.backend.write(alloc_id, offset, data)
+
+    def try_view(self, alloc_id: int, offset: int,
+                 nbytes: int) -> np.ndarray | None:
+        """A writable zero-copy window into the allocation, or ``None``
+        when the backend cannot expose one (see
+        :meth:`~repro.memory.backends.DataBackend.try_view`)."""
+        return self.backend.try_view(alloc_id, offset, nbytes)
+
+    def copy_into(self, dst: "Device", src_id: int, src_offset: int,
+                  dst_id: int, dst_offset: int, nbytes: int) -> None:
+        """Move ``nbytes`` from this device into ``dst`` with the fewest
+        copies the two backends allow.
+
+        This is the physical half of Listing 4's dispatch: the runtime
+        picks the mechanics from the (source, destination) backend pair
+        the way the paper picks POSIX I/O vs ``memcpy`` vs a device DMA
+        from the endpoint storage types.
+
+        * view -> view (mem->mem): one ``np.copyto``.
+        * opaque -> view (file->mem): one positioned read straight into
+          the destination window.
+        * view -> opaque (mem->file): one positioned write straight from
+          the source window.
+        * opaque -> opaque (file->file): staged through one pooled
+          scratch array (read_into + write).
+        """
+        if nbytes == 0:
+            return
+        sb, db = self.backend, dst.backend
+        dview = db.try_view(dst_id, dst_offset, nbytes)
+        if dview is not None:
+            sview = sb.try_view(src_id, src_offset, nbytes)
+            if sview is not None:
+                np.copyto(dview, sview)
+            else:
+                sb.read_into(src_id, src_offset, dview)
+            return
+        sview = sb.try_view(src_id, src_offset, nbytes)
+        if sview is not None:
+            db.write(dst_id, dst_offset, sview)
+            return
+        scratch = _scratch_pool().take(nbytes, zero=False)
+        try:
+            sb.read_into(src_id, src_offset, scratch)
+            db.write(dst_id, dst_offset, scratch)
+        finally:
+            _scratch_pool().give(scratch)
+
+    def copy_into_2d(self, dst: "Device", src_id: int, src_offset: int,
+                     src_stride: int, dst_id: int, dst_offset: int,
+                     dst_stride: int, *, rows: int, row_bytes: int) -> None:
+        """Strided 2-D variant of :meth:`copy_into`: ``rows`` runs of
+        ``row_bytes`` with independent endpoint strides move as one
+        vectored transfer (a strided NumPy copy, a gathered read, or a
+        scattered write) instead of a Python loop of per-row calls."""
+        if rows == 0 or row_bytes == 0:
+            return
+        sb, db = self.backend, dst.backend
+        d2 = db.try_view_2d(dst_id, dst_offset, rows, row_bytes, dst_stride)
+        s2 = sb.try_view_2d(src_id, src_offset, rows, row_bytes, src_stride)
+        if d2 is not None and s2 is not None:
+            np.copyto(d2, s2)
+        elif d2 is not None:
+            sb.gather_2d(src_id, src_offset, rows, row_bytes, src_stride, d2)
+        elif s2 is not None:
+            db.scatter_2d(dst_id, dst_offset, rows, row_bytes, dst_stride, s2)
+        else:
+            scratch = _scratch_pool().take(rows * row_bytes, zero=False)
+            try:
+                out = scratch.reshape(rows, row_bytes)
+                sb.gather_2d(src_id, src_offset, rows, row_bytes, src_stride,
+                             out)
+                db.scatter_2d(dst_id, dst_offset, rows, row_bytes, dst_stride,
+                              out)
+            finally:
+                _scratch_pool().give(scratch)
 
     def close(self) -> None:
         self.backend.close()

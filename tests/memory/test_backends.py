@@ -1,5 +1,7 @@
 """Unit and property tests for data backends (memory and file)."""
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -115,6 +117,161 @@ def test_file_backend_close_removes_root(tmp_path):
     assert root.exists()
     b.close()
     assert not root.exists()
+
+
+def test_file_backend_close_keeps_user_supplied_root(tmp_path):
+    """A directory the backend did not create survives teardown."""
+    root = tmp_path / "shared"
+    root.mkdir()
+    keep = root / "user_file.txt"
+    keep.write_text("precious")
+    b = FileBackend(str(root))
+    b.create(1, 64)
+    b.write(1, 0, b"abc")
+    b.close()
+    assert root.exists()
+    assert keep.read_text() == "precious"
+    # The backend's own buffer files are still removed.
+    assert not list(root.glob("buf_*.bin"))
+
+
+# -- pooled-fd path edge semantics -------------------------------------------
+
+def test_pooled_fd_out_of_bounds_still_raises(tmp_path):
+    """The fast paths must validate exactly like the old open-per-op
+    path: no descriptor reuse may skip the range checks."""
+    b = FileBackend(str(tmp_path / "s"))
+    b.create(1, 16)
+    b.read(1, 0, 16)  # warm the descriptor pool
+    with pytest.raises(TransferError):
+        b.read(1, 8, 16)
+    with pytest.raises(TransferError):
+        b.write(1, 10, np.zeros(8, dtype=np.uint8))
+    with pytest.raises(TransferError):
+        b.read_into(1, 12, np.empty(8, dtype=np.uint8))
+    with pytest.raises(TransferError):
+        b.gather_2d(1, 0, rows=4, row_bytes=4, stride=5,
+                    out=np.empty((4, 4), dtype=np.uint8))
+    with pytest.raises(TransferError):
+        b.scatter_2d(1, 8, rows=2, row_bytes=4, stride=8,
+                     data=np.zeros((2, 4), dtype=np.uint8))
+    with pytest.raises(TransferError):
+        b.gather_2d(1, 0, rows=2, row_bytes=4, stride=2,  # overlapping rows
+                    out=np.empty((2, 4), dtype=np.uint8))
+    b.close()
+
+
+def test_pooled_fd_sparse_tail_reads_zero(tmp_path):
+    """A file shorter than its declared size (sparse tail / external
+    truncation) reads as zeros past EOF on every read path."""
+    b = FileBackend(str(tmp_path / "s"))
+    b.create(1, 64)
+    b.write(1, 0, np.arange(8, dtype=np.uint8))
+    path = next((tmp_path / "s").glob("buf_*.bin"))
+    os.truncate(path, 8)  # chop the zero tail off behind the backend's back
+    out = b.read(1, 0, 64)
+    np.testing.assert_array_equal(out[:8], np.arange(8, dtype=np.uint8))
+    assert out[8:].sum() == 0
+    into = np.full(32, 0xFF, dtype=np.uint8)
+    b.read_into(1, 4, into)
+    np.testing.assert_array_equal(into[:4], np.arange(4, 8, dtype=np.uint8))
+    assert into[4:].sum() == 0
+    gathered = np.full((4, 8), 0xFF, dtype=np.uint8)
+    b.gather_2d(1, 0, rows=4, row_bytes=8, stride=16, out=gathered)
+    np.testing.assert_array_equal(gathered[0], np.arange(8, dtype=np.uint8))
+    assert gathered[1:].sum() == 0
+    b.close()
+
+
+def test_sync_writes_fsync_on_pooled_fd(tmp_path, monkeypatch):
+    """``sync_writes`` must reach ``fsync`` on the pooled-descriptor
+    write paths (the paper's O_SYNC storage configuration)."""
+    import repro.memory.backends as backends_mod
+    calls = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(backends_mod.os, "fsync",
+                        lambda fd: (calls.append(fd), real_fsync(fd))[1])
+    b = FileBackend(str(tmp_path / "s"), sync_writes=True)
+    b.create(1, 64)
+    b.write(1, 0, b"hello")
+    assert len(calls) == 1
+    b.scatter_2d(1, 0, rows=2, row_bytes=4, stride=8,
+                 data=np.ones((2, 4), dtype=np.uint8))
+    assert len(calls) == 2
+    b.close()
+
+    b = FileBackend(str(tmp_path / "s2"), sync_writes=False)
+    b.create(1, 16)
+    b.write(1, 0, b"x")
+    assert len(calls) == 2  # no fsync when the flag is off
+    b.close()
+
+
+def test_fd_pool_reuses_and_caps_descriptors(tmp_path):
+    b = FileBackend(str(tmp_path / "s"), max_open_fds=2)
+    for i in range(5):
+        b.create(i, 16)
+        b.write(i, 0, bytes([i + 1]))
+    # Interleaved access far beyond the cap: every read stays correct
+    # and the pool never exceeds two live descriptors.
+    for _ in range(3):
+        for i in range(5):
+            assert b.read(i, 0, 1)[0] == i + 1
+            assert b.open_fds <= 2
+    opens_before = b._fds.opens
+    b.read(4, 0, 1)  # id 4 is the most recent: served by the pool
+    assert b._fds.opens == opens_before
+    b.close()
+    assert b.open_fds == 0
+
+
+def test_fd_pool_single_buffer_opens_once(tmp_path):
+    b = FileBackend(str(tmp_path / "s"))
+    b.create(1, 1024)
+    for i in range(50):
+        b.write(1, i, bytes([i]))
+        b.read(1, i, 1)
+    assert b._fds.opens == 1
+    b.close()
+
+
+# -- mmap mode ---------------------------------------------------------------
+
+def test_mmap_mode_roundtrip_and_views(tmp_path):
+    b = FileBackend(str(tmp_path / "s"), mmap_mode=True)
+    b.create(1, 64)
+    data = np.arange(16, dtype=np.uint8)
+    b.write(1, 8, data)
+    np.testing.assert_array_equal(b.read(1, 8, 16), data)
+    # Views are live windows into the file mapping.
+    v = b.try_view(1, 8, 16)
+    assert v is not None
+    v[0] = 99
+    assert b.read(1, 8, 1)[0] == 99
+    v2 = b.try_view_2d(1, 0, rows=4, row_bytes=8, stride=16)
+    assert v2 is not None and v2.shape == (4, 8)
+    b.destroy(1)
+    with pytest.raises(AllocationError):
+        b.read(1, 0, 1)
+    b.close()
+
+
+def test_mmap_mode_matches_plain_mode(tmp_path):
+    plain = FileBackend(str(tmp_path / "p"))
+    mapped = FileBackend(str(tmp_path / "m"), mmap_mode=True)
+    rng = np.random.default_rng(7)
+    for backend in (plain, mapped):
+        backend.create(1, 256)
+    for _ in range(20):
+        off = int(rng.integers(0, 255))
+        ln = int(rng.integers(0, 256 - off))
+        payload = rng.integers(0, 256, ln).astype(np.uint8)
+        for backend in (plain, mapped):
+            backend.write(1, off, payload)
+    np.testing.assert_array_equal(plain.read(1, 0, 256),
+                                  mapped.read(1, 0, 256))
+    plain.close()
+    mapped.close()
 
 
 @settings(max_examples=50, deadline=None)
