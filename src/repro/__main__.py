@@ -1,9 +1,28 @@
 """``python -m repro``: regenerate the paper's evaluation.
 
-Delegates to :mod:`repro.tools.evaluate`; see ``--help`` there.
+Subcommands::
+
+    python -m repro report RUN.json      # RunReport on an exported trace
+    python -m repro regress BASE NEW     # perf-regression gate
+    python -m repro [evaluate args...]   # default: repro.tools.evaluate
+
+See ``--help`` on each.
 """
 
-from repro.tools.evaluate import main
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        from repro.obs.report import main as report_main
+        return report_main(argv[1:])
+    if argv and argv[0] == "regress":
+        from repro.obs.regress import main as regress_main
+        return regress_main(argv[1:])
+    from repro.tools.evaluate import main as evaluate_main
+    return evaluate_main(argv)
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

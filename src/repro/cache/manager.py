@@ -194,10 +194,12 @@ class CacheManager:
     def count_hit(self, cache: NodeCache, nbytes: int) -> None:
         cache.stats.hits += 1
         cache.stats.hit_bytes += nbytes
+        self.system.obs.count("cache_hits")
 
     def count_miss(self, cache: NodeCache, nbytes: int) -> None:
         cache.stats.misses += 1
         cache.stats.miss_bytes += nbytes
+        self.system.obs.count("cache_misses")
 
     # -- demand fill / prefetch -----------------------------------------
 
@@ -218,11 +220,16 @@ class CacheManager:
         if block is None:
             return None
         tag = "prefetch" if prefetched else "fill"
-        self._fill_block(node, src_node, spec, block,
-                         system._edge_path(src_node, node),
-                         label or f"cache-{tag}:"
-                                  f"{spec.src.label or spec.src.buffer_id}")
-        system.charge_runtime(1)
+        span = system.obs.open("prefetch" if prefetched else "cache_fill",
+                               node_id=node.node_id)
+        try:
+            self._fill_block(node, src_node, spec, block,
+                             system._edge_path(src_node, node),
+                             label or f"cache-{tag}:"
+                                      f"{spec.src.label or spec.src.buffer_id}")
+            system.charge_runtime(1)
+        finally:
+            system.obs.close(span)
         if prefetched:
             cache.stats.prefetch_issued += 1
         return block
@@ -262,10 +269,14 @@ class CacheManager:
             block = admit(spec, prefetched=True)
             if block is None:
                 break  # no room; trying further entries would thrash
-            self._fill_block(node, src_node, spec, block, path,
-                             f"cache-prefetch:"
-                             f"{spec.src.label or spec.src.buffer_id}")
-            system.charge_runtime(1)
+            span = system.obs.open("prefetch", node_id=node.node_id)
+            try:
+                self._fill_block(node, src_node, spec, block, path,
+                                 f"cache-prefetch:"
+                                 f"{spec.src.label or spec.src.buffer_id}")
+                system.charge_runtime(1)
+            finally:
+                system.obs.close(span)
             cache.stats.prefetch_issued += 1
             issued += 1
         return issued

@@ -75,21 +75,37 @@ class Breakdown:
     def busy_total(self) -> float:
         return sum(self.by_phase.values())
 
+    #: How phases fold into the paper's grouped share categories.
+    _SHARE_GROUPS = {
+        Phase.CPU_COMPUTE: "cpu",
+        Phase.GPU_COMPUTE: "gpu",
+        Phase.SETUP: "setup",
+        Phase.IO_READ: "transfer",
+        Phase.IO_WRITE: "transfer",
+        Phase.DEV_TRANSFER: "transfer",
+        Phase.MEM_COPY: "transfer",
+        Phase.RUNTIME: "runtime",
+        Phase.CACHE: "cache",
+    }
+
     def shares(self) -> dict[str, float]:
         """Busy-time shares per paper category (sum to 1.0 when any
-        work was recorded)."""
+        work was recorded).
+
+        Categories are derived from :class:`Phase` via
+        :attr:`_SHARE_GROUPS`; a phase without a group mapping gets its
+        own key (``phase.value``) rather than silently vanishing, so
+        shares always sum to 1.
+        """
+        out = {"cpu": 0.0, "gpu": 0.0, "setup": 0.0, "transfer": 0.0,
+               "runtime": 0.0, "cache": 0.0}
         total = self.busy_total
         if total == 0:
-            return {"cpu": 0.0, "gpu": 0.0, "setup": 0.0, "transfer": 0.0,
-                    "runtime": 0.0, "cache": 0.0}
-        return {
-            "cpu": self.cpu / total,
-            "gpu": self.gpu / total,
-            "setup": self.setup / total,
-            "transfer": self.transfers / total,
-            "runtime": self.runtime / total,
-            "cache": self.cache / total,
-        }
+            return out
+        for phase, secs in self.by_phase.items():
+            key = self._SHARE_GROUPS.get(phase, phase.value)
+            out[key] = out.get(key, 0.0) + secs / total
+        return out
 
     @property
     def dev_transfer_share(self) -> float:
@@ -105,18 +121,26 @@ class Breakdown:
         return self.runtime / total if total else 0.0
 
     def table(self, title: str = "") -> str:
-        """Formatted per-category table (seconds and shares)."""
-        rows = [("cpu", self.cpu), ("gpu", self.gpu), ("setup", self.setup),
-                ("io", self.io), ("dev_transfer", self.dev_transfer),
-                ("mem_copy", self.mem_copy), ("runtime", self.runtime),
-                ("cache", self.cache)]
+        """Formatted per-phase table (seconds, shares and moved bytes).
+
+        Rows are derived from :class:`Phase` -- every enum member gets a
+        row, plus any extra phase present in ``by_phase`` -- so no
+        category is ever silently dropped.
+        """
+        phases = list(Phase) + [p for p in self.by_phase if p not in
+                                set(Phase)]
         total = self.busy_total or 1.0
         lines = []
         if title:
             lines.append(title)
-        lines.append(f"{'category':<14}{'seconds':>12}{'share':>9}")
-        for name, sec in rows:
-            lines.append(f"{name:<14}{sec:>12.6f}{sec / total:>8.1%}")
+        lines.append(f"{'phase':<14}{'seconds':>12}{'share':>9}"
+                     f"{'bytes':>16}")
+        for phase in phases:
+            sec = self.by_phase.get(phase, 0.0)
+            nbytes = self.bytes_by_phase.get(phase, 0)
+            byte_col = f"{nbytes:,}" if nbytes else "-"
+            lines.append(f"{phase.value:<14}{sec:>12.6f}{sec / total:>8.1%}"
+                         f"{byte_col:>16}")
         lines.append(f"{'makespan':<14}{self.makespan:>12.6f}")
         return "\n".join(lines)
 

@@ -138,40 +138,69 @@ class NorthupProgram(ABC):
         """
         from repro.core.scheduler import LevelQueue, TaskState
 
+        obs = ctx.system.obs
         if ctx.is_leaf:
-            self.compute_task(ctx)
+            leaf_span = obs.open("compute", node_id=ctx.node.node_id)
+            try:
+                self.compute_task(ctx)
+            finally:
+                obs.close(leaf_span)
             return
-        queue = LevelQueue(level=ctx.node.level)
-        ctx.node.work_queues = [queue]
-        ctx.scratch["level_queue"] = queue
-        chunks = list(self.decompose(ctx))
-        tasks = [queue.enqueue(chunk) for chunk in chunks]
-        ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
-        if ctx.system.cache.transparent:
-            hints = self.prefetch_hints(ctx, chunks)
-            if hints is not None:
-                planned = ctx.system.cache.engine.plan_level(ctx.node, hints)
-                if planned:
-                    ctx.system.charge_runtime(1, label="prefetch plan")
-                    for task in tasks:
-                        task.mark_prefetched()
-        for chunk, task in zip(chunks, tasks):
-            child = self.select_child(ctx, chunk)
-            if child.parent is not ctx.node:
-                raise SchedulerError(
-                    f"select_child returned node {child.node_id}, not a "
-                    f"child of {ctx.node.node_id}")
-            payload = self.setup_buffers(ctx, child, chunk)
-            child_ctx = ctx.descend(child, chunk=chunk, payload=payload)
-            task.advance(TaskState.MOVING)
-            self.data_down(ctx, child_ctx, chunk)
-            task.advance(TaskState.RESIDENT)
-            self.recurse(child_ctx)
-            task.advance(TaskState.COMPUTED)
-            self.data_up(ctx, child_ctx, chunk)
-            self.teardown_buffers(ctx, child_ctx, chunk)
-            task.advance(TaskState.DONE)
-        self.after_level(ctx)
+        divide_span = obs.open("divide", node_id=ctx.node.node_id)
+        try:
+            queue = LevelQueue(level=ctx.node.level)
+            ctx.node.work_queues = [queue]
+            ctx.scratch["level_queue"] = queue
+            chunks = list(self.decompose(ctx))
+            tasks = [queue.enqueue(chunk) for chunk in chunks]
+            ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
+            divide_span.annotate("chunks", len(chunks))
+            if ctx.system.cache.transparent:
+                hints = self.prefetch_hints(ctx, chunks)
+                if hints is not None:
+                    planned = ctx.system.cache.engine.plan_level(ctx.node,
+                                                                 hints)
+                    if planned:
+                        ctx.system.charge_runtime(1, label="prefetch plan")
+                        for task in tasks:
+                            task.mark_prefetched()
+                        divide_span.annotate("prefetch_planned", planned)
+            for chunk, task in zip(chunks, tasks):
+                child = self.select_child(ctx, chunk)
+                if child.parent is not ctx.node:
+                    raise SchedulerError(
+                        f"select_child returned node {child.node_id}, not a "
+                        f"child of {ctx.node.node_id}")
+                span = obs.open("setup", node_id=child.node_id)
+                try:
+                    payload = self.setup_buffers(ctx, child, chunk)
+                    child_ctx = ctx.descend(child, chunk=chunk,
+                                            payload=payload)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.MOVING)
+                span = obs.open("move_down", node_id=child.node_id)
+                try:
+                    self.data_down(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.RESIDENT)
+                self.recurse(child_ctx)
+                task.advance(TaskState.COMPUTED)
+                span = obs.open("move_up", node_id=child.node_id)
+                try:
+                    self.data_up(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                span = obs.open("combine", node_id=ctx.node.node_id)
+                try:
+                    self.teardown_buffers(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.DONE)
+            self.after_level(ctx)
+        finally:
+            obs.close(divide_span)
 
     def run(self, system: System) -> ExecutionContext:
         """Execute the program from the tree root; returns the root
@@ -182,10 +211,15 @@ class NorthupProgram(ABC):
         the same live-buffer census it would have had without caching.
         """
         ctx = root_context(system)
+        root_span = system.obs.open("run", label=type(self).__name__,
+                                    node_id=ctx.node.node_id)
         try:
             self.before_run(ctx)
             self.recurse(ctx)
             self.after_run(ctx)
         finally:
+            # end_run's write-back flush intervals still attribute to
+            # the root span, so the span is closed after cache cleanup.
             system.cache.end_run()
+            system.obs.close(root_span)
         return ctx

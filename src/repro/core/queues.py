@@ -97,6 +97,20 @@ class QueueSet:
     def total_pending(self) -> int:
         return sum(len(q) for q in self.queues)
 
+    def export_metrics(self, registry, *,
+                       labels: dict[str, str] | None = None) -> None:
+        """Publish every queue's counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (gauges labelled by
+        queue name; extra ``labels`` are merged in)."""
+        base = dict(labels or {})
+        for q in self.queues:
+            qlabels = dict(base, queue=q.name)
+            registry.gauge("queue_pushes", q.pushes, labels=qlabels)
+            registry.gauge("queue_pops", q.pops, labels=qlabels)
+            registry.gauge("queue_steals_suffered", q.steals_suffered,
+                           labels=qlabels)
+            registry.gauge("queue_pending", len(q), labels=qlabels)
+
     def steal_from_any(self, exclude: WorkQueue | None = None) -> Any | None:
         """Steal from the longest other queue (deterministic victim
         choice: length, then name)."""

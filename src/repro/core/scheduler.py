@@ -125,6 +125,9 @@ class BufferPool:
         """The next buffer set in round-robin order."""
         s = self._sets[self._next % self.depth]
         self._next += 1
+        self.system.metrics.counter(
+            "buffer_pool_acquires", labels={"node": str(self.node.node_id)},
+            help_text="pipelined buffer-set rotations")
         return s
 
     def release_all(self) -> None:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.core.queues import WorkQueue
 from repro.errors import ConfigError
+from repro.sim.trace import Phase
 
 #: Concurrent workgroups the APU GPU needs for full throughput
 #: (8 SIMD engines x 4 waves, matching GpuProcessor's occupancy model).
@@ -261,7 +262,7 @@ def simulate_chunk(cfg: StealConfig) -> ChunkOutcome:
     return outcome
 
 
-def simulate(cfg: StealConfig) -> StealStats:
+def simulate(cfg: StealConfig, *, observer=None) -> StealStats:
     """Full run: pipelined chunk loads/computes/writebacks.
 
     The recurrence mirrors the two staging buffer sets: load ``c`` needs
@@ -269,10 +270,22 @@ def simulate(cfg: StealConfig) -> StealStats:
     loads and writebacks serialise on the one SSD channel in
     request-time order; compute ``c`` starts when its load is done and
     the workers finished chunk ``c-1``.
+
+    ``observer`` (an :class:`repro.obs.spans.Observer`) additionally
+    records one ``chunk`` span per chunk and the load / compute /
+    writeback intervals onto the observer's trace (``ssd.ch`` for the
+    shared channel, ``workers`` for the compute phase), so the
+    critical-path extractor can attribute a run to compute or to the
+    slow storage edge.  Pure bookkeeping: the returned stats are
+    identical with or without it.
     """
     per_chunk = simulate_chunk(cfg)
     n = cfg.num_chunks
     t_load, t_wb = cfg.chunk_load_time, cfg.chunk_writeback_time
+    trace = observer.trace if observer is not None else None
+    load_bytes = cfg.chunk_dim * cfg.chunk_dim * cfg.bytes_per_cell_read
+    wb_bytes = cfg.chunk_dim * cfg.chunk_dim * cfg.bytes_per_cell_write
+    chunk_span_ids: list[int] = []
 
     chan_free = 0.0
     compute_end: list[float] = []
@@ -280,24 +293,43 @@ def simulate(cfg: StealConfig) -> StealStats:
     wb_done = 0
     last_wb_end = 0.0
 
-    def channel_op(request: float, duration: float) -> float:
+    def channel_op(request: float, duration: float) -> tuple[float, float]:
         nonlocal chan_free
         start = max(chan_free, request)
         chan_free = start + duration
-        return chan_free
+        return start, chan_free
+
+    def charge_writeback(idx: int) -> None:
+        nonlocal last_wb_end
+        start, end = channel_op(wb_requests[idx], t_wb)
+        last_wb_end = end
+        if trace is not None:
+            trace.record_raw(start, end, Phase.IO_WRITE, "ssd.ch",
+                             label=f"writeback:chunk{idx}", nbytes=wb_bytes,
+                             span_id=chunk_span_ids[idx])
 
     for c in range(n):
         buffer_ready = compute_end[c - 2] if c >= 2 else 0.0
         # Writebacks requested before this load takes the channel.
         while wb_done < len(wb_requests) and wb_requests[wb_done] <= buffer_ready:
-            last_wb_end = channel_op(wb_requests[wb_done], t_wb)
+            charge_writeback(wb_done)
             wb_done += 1
-        load_end = channel_op(buffer_ready, t_load)
+        load_start, load_end = channel_op(buffer_ready, t_load)
         start = max(load_end, compute_end[c - 1] if c else 0.0)
-        compute_end.append(start + per_chunk.duration)
-        wb_requests.append(compute_end[-1])
+        end = start + per_chunk.duration
+        compute_end.append(end)
+        wb_requests.append(end)
+        if observer is not None:
+            span = observer.open("chunk", label=f"chunk{c}")
+            trace.record_raw(load_start, load_end, Phase.IO_READ, "ssd.ch",
+                             label=f"load:chunk{c}", nbytes=load_bytes)
+            trace.record_raw(start, end, Phase.GPU_COMPUTE, "workers",
+                             label=f"compute:chunk{c}")
+            span.count("steals", per_chunk.steals)
+            observer.close(span)
+            chunk_span_ids.append(span.span_id)
     while wb_done < len(wb_requests):
-        last_wb_end = channel_op(wb_requests[wb_done], t_wb)
+        charge_writeback(wb_done)
         wb_done += 1
 
     return StealStats(

@@ -36,6 +36,8 @@ from repro.core.profiler import Breakdown, profile_trace
 from repro.errors import CacheError, CapacityError, TransferError
 from repro.memory import reference
 from repro.memory.device import StorageKind
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_OBSERVER, Observer
 from repro.sim.timeline import Completion, Timeline
 from repro.sim.trace import Phase
 from repro.topology.node import TreeNode
@@ -132,11 +134,18 @@ class System:
         parent->child ``move``/``move_2d`` consult the cache and to
         enable the prefetch engine, or ``CacheConfig.disabled()`` to
         turn caching off entirely.
+    observe:
+        Record causal spans (:mod:`repro.obs.spans`) as the program
+        recurses (default on).  ``observe=False`` installs the shared
+        null observer: the instrumented code path is identical, but no
+        span objects are allocated and the trace's span column stays 0.
+        Virtual time is bit-identical either way.
     """
 
     def __init__(self, tree: TopologyTree, *,
                  cache: CacheConfig | None = None,
-                 zero_copy: bool = True) -> None:
+                 zero_copy: bool = True,
+                 observe: bool = True) -> None:
         self.tree = tree
         #: Route physical byte movement through the zero-copy data plane
         #: (``Device.copy_into`` view/pooled-fd/vectored paths).  False
@@ -148,6 +157,16 @@ class System:
         self.registry = BufferRegistry()
         self.runtime_ops = 0
         self.wall = WallStats()
+        #: Causal span tracker (:mod:`repro.obs.spans`).  Spans are pure
+        #: metadata over the trace -- virtual results are bit-identical
+        #: with observability on or off.  ``observe=False`` installs the
+        #: shared null observer: zero span allocations, same code path.
+        self.obs = Observer(self.timeline.trace) if observe \
+            else NULL_OBSERVER
+        #: Unified metrics registry.  Hot-path counters stay where they
+        #: are; pull-collectors bridge them in at snapshot time.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(self._collect_metrics)
         self.cache = CacheManager(self, cache or CacheConfig())
         #: Memoized per-edge charging recipes; the topology is immutable
         #: after validation, so these never need invalidating.
@@ -967,6 +986,72 @@ class System:
 
     # -- reporting -----------------------------------------------------------
 
+    def _collect_metrics(self, reg: MetricsRegistry) -> None:
+        """Pull-collector bridging the runtime's scattered counters into
+        the metrics registry (cache stats, fd pools, array pools, level
+        queues, wall stats, trace aggregates)."""
+        reg.gauge("runtime_ops", self.runtime_ops,
+                  help_text="framework bookkeeping operations charged")
+        reg.gauge("wall_physical_seconds", self.wall.physical_seconds,
+                  help_text="wall-clock seconds spent moving bytes")
+        reg.gauge("wall_bytes_moved", self.wall.bytes_moved)
+        reg.gauge("wall_ops", self.wall.ops)
+        trace = self.timeline.trace
+        reg.gauge("trace_intervals", len(trace))
+        reg.gauge("virtual_makespan_seconds", self.timeline.makespan())
+        for phase, secs in trace.by_phase().items():
+            reg.gauge("virtual_busy_seconds", secs,
+                      labels={"phase": phase.value})
+        for phase, nbytes in trace.bytes_by_phase().items():
+            reg.gauge("virtual_bytes_moved", nbytes,
+                      labels={"phase": phase.value})
+        for nid, stats in self.cache.stats_by_node().items():
+            labels = {"node": str(nid)}
+            reg.gauge("cache_hits", stats.hits, labels=labels)
+            reg.gauge("cache_misses", stats.misses, labels=labels)
+            reg.gauge("cache_hit_bytes", stats.hit_bytes, labels=labels)
+            reg.gauge("cache_miss_bytes", stats.miss_bytes, labels=labels)
+            reg.gauge("cache_evictions", stats.evictions, labels=labels)
+            reg.gauge("cache_admissions", stats.admissions, labels=labels)
+            reg.gauge("cache_prefetch_issued", stats.prefetch_issued,
+                      labels=labels)
+            reg.gauge("cache_prefetch_used", stats.prefetch_used,
+                      labels=labels)
+            reg.gauge("cache_prefetch_wasted", stats.prefetch_wasted,
+                      labels=labels)
+            reg.gauge("cache_writebacks_deferred", stats.writebacks_deferred,
+                      labels=labels)
+        for node in self.tree.nodes():
+            labels = {"node": str(node.node_id)}
+            backend = node.device.backend
+            fds = getattr(backend, "_fds", None)
+            if fds is not None and hasattr(fds, "opens"):
+                reg.gauge("fd_pool_opens", fds.opens, labels=labels)
+                reg.gauge("fd_pool_hits", fds.hits, labels=labels)
+                reg.gauge("fd_pool_evictions", fds.evictions, labels=labels)
+            pool = getattr(backend, "pool", None)
+            if pool is not None and hasattr(pool, "reuses"):
+                reg.gauge("array_pool_reuses", pool.reuses, labels=labels)
+                reg.gauge("array_pool_fresh", pool.fresh, labels=labels)
+                reg.gauge("array_pool_retired", pool.retired, labels=labels)
+                reg.gauge("array_pool_dropped", pool.dropped, labels=labels)
+                reg.gauge("array_pool_held_bytes", pool.held_bytes,
+                          labels=labels)
+            for queue in node.work_queues:
+                qlabels = {"node": str(node.node_id)}
+                if hasattr(queue, "pushes"):          # WorkQueue
+                    qlabels["queue"] = queue.name
+                    reg.gauge("queue_pushes", queue.pushes, labels=qlabels)
+                    reg.gauge("queue_pops", queue.pops, labels=qlabels)
+                    reg.gauge("queue_steals_suffered",
+                              queue.steals_suffered, labels=qlabels)
+                elif hasattr(queue, "tasks"):         # LevelQueue
+                    qlabels["level"] = str(queue.level)
+                    reg.gauge("level_queue_tasks", len(queue.tasks),
+                              labels=qlabels)
+                    reg.gauge("level_queue_prefetch_planned",
+                              queue.prefetch_planned, labels=qlabels)
+
     def makespan(self) -> float:
         """End-to-end virtual time of everything charged so far.
         Settles any deferred write-backs first: IOUs are owed time."""
@@ -983,6 +1068,7 @@ class System:
         """Clear the timeline between measured phases (buffers keep their
         contents but dependency times restart at zero)."""
         self.timeline.reset()
+        self.obs.reset()
         self.runtime_ops = 0
         self.cache.on_reset()
         for h in self.registry.live_handles():

@@ -1,0 +1,211 @@
+"""Performance-regression gating against committed bench baselines.
+
+The perf wins banked in ``BENCH_wallclock.json`` and
+``BENCH_dataplane.json`` are claims; this module makes them enforceable.
+:func:`compare` walks a baseline JSON and a freshly generated run of the
+same bench and classifies every shared numeric leaf:
+
+* keys ending in ``_s`` (wall-clock seconds, lower is better): a
+  regression when the fresh value exceeds baseline by more than the
+  relative tolerance band;
+* ``speedup`` keys (higher is better): a regression when the fresh
+  value falls below baseline by more than the band;
+* ``makespan_s`` and every boolean (``*_identical`` flags): **exact** --
+  virtual time is deterministic, so any drift is a correctness bug, not
+  noise;
+* counts (``moves``, ``intervals``, ...): exact when both sides are
+  integers (a changed workload invalidates the comparison).
+
+Structural drift (keys present on one side only) is reported as a
+warning, not a failure -- benches grow cases.
+
+CLI
+---
+::
+
+    python -m repro.obs.regress BASELINE.json FRESH.json [--rtol 0.25]
+                                [--warn-only]
+
+Exit status 1 on any regression (0 with ``--warn-only``, the CI mode:
+shared runners are too noisy for a hard wall-clock gate at CI scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+#: Default relative tolerance for wall-clock comparisons.  Wall times on
+#: a quiet machine vary a few percent run to run; 25% only trips on a
+#: genuine algorithmic regression.
+DEFAULT_RTOL = 0.25
+
+#: Keys whose values are never subject to the tolerance band.
+_EXACT_KEYS = ("makespan_s",)
+
+#: Metadata subtrees excluded from comparison entirely.
+_IGNORED_KEYS = ("meta",)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome."""
+
+    path: str
+    kind: str        # "regression" | "improvement" | "warning" | "ok"
+    message: str
+
+    @property
+    def is_regression(self) -> bool:
+        return self.kind == "regression"
+
+
+def _leaf_findings(path: str, key: str, base, fresh,
+                   rtol: float) -> Finding | None:
+    """Classify one shared leaf; None for uninteresting matches."""
+    if isinstance(base, bool) or isinstance(fresh, bool):
+        if base != fresh:
+            return Finding(path, "regression",
+                           f"flag flipped: baseline {base} -> {fresh}")
+        return None
+    if not isinstance(base, (int, float)) or \
+            not isinstance(fresh, (int, float)):
+        if base != fresh:
+            return Finding(path, "warning",
+                           f"value changed: {base!r} -> {fresh!r}")
+        return None
+    if key in _EXACT_KEYS:
+        if base != fresh:
+            return Finding(
+                path, "regression",
+                f"virtual time drifted: {base!r} -> {fresh!r} "
+                f"(makespans are deterministic; exact match required)")
+        return None
+    if key.endswith("_s"):    # wall seconds: lower is better
+        if fresh > base * (1 + rtol):
+            return Finding(
+                path, "regression",
+                f"slower: {base:.6f}s -> {fresh:.6f}s "
+                f"(+{(fresh / base - 1):.1%}, band +{rtol:.0%})")
+        if fresh < base * (1 - rtol):
+            return Finding(
+                path, "improvement",
+                f"faster: {base:.6f}s -> {fresh:.6f}s "
+                f"({(fresh / base - 1):.1%})")
+        return None
+    if key == "speedup" or key.endswith("_speedup"):
+        if fresh < base * (1 - rtol):
+            return Finding(
+                path, "regression",
+                f"speedup lost: {base:.2f}x -> {fresh:.2f}x "
+                f"({(fresh / base - 1):.1%}, band -{rtol:.0%})")
+        return None
+    if isinstance(base, int) and isinstance(fresh, int):
+        if base != fresh:
+            return Finding(path, "warning",
+                           f"count changed: {base} -> {fresh} "
+                           f"(workload drift invalidates comparison)")
+        return None
+    if base != fresh:
+        return Finding(path, "warning", f"value changed: {base!r} -> {fresh!r}")
+    return None
+
+
+def compare(baseline, fresh, *, rtol: float = DEFAULT_RTOL,
+            _path: str = "") -> list[Finding]:
+    """Recursively compare two bench-JSON documents."""
+    findings: list[Finding] = []
+    if isinstance(baseline, dict) and isinstance(fresh, dict):
+        for key in baseline:
+            if key in _IGNORED_KEYS:
+                continue
+            here = f"{_path}.{key}" if _path else key
+            if key not in fresh:
+                findings.append(Finding(here, "warning",
+                                        "missing from fresh run"))
+                continue
+            b, f = baseline[key], fresh[key]
+            if isinstance(b, (dict, list)) and isinstance(f, (dict, list)):
+                findings.extend(compare(b, f, rtol=rtol, _path=here))
+            else:
+                hit = _leaf_findings(here, key, b, f, rtol)
+                if hit is not None:
+                    findings.append(hit)
+        for key in fresh:
+            if key not in baseline and key not in _IGNORED_KEYS:
+                here = f"{_path}.{key}" if _path else key
+                findings.append(Finding(here, "warning",
+                                        "new key absent from baseline"))
+        return findings
+    if isinstance(baseline, list) and isinstance(fresh, list):
+        if len(baseline) != len(fresh):
+            findings.append(Finding(
+                _path, "warning",
+                f"list length changed: {len(baseline)} -> {len(fresh)}"))
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            here = f"{_path}[{i}]"
+            # Lists of cases are matched positionally; dict entries with
+            # an identifying key get it appended for readable paths.
+            if isinstance(b, dict):
+                ident = b.get("case") or b.get("app") or b.get("name")
+                if ident:
+                    here = f"{_path}[{ident}]"
+            if isinstance(b, (dict, list)) and isinstance(f, (dict, list)):
+                findings.extend(compare(b, f, rtol=rtol, _path=here))
+            else:
+                hit = _leaf_findings(here, _path.rsplit(".", 1)[-1], b, f,
+                                     rtol)
+                if hit is not None:
+                    findings.append(hit)
+        return findings
+    findings.append(Finding(_path, "warning",
+                            f"shape changed: {type(baseline).__name__} -> "
+                            f"{type(fresh).__name__}"))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.regress",
+        description="Gate a fresh bench run against a committed baseline.")
+    parser.add_argument("baseline", metavar="BASELINE.json")
+    parser.add_argument("fresh", metavar="FRESH.json")
+    parser.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
+                        help=f"relative tolerance band for wall times and "
+                             f"speedups (default {DEFAULT_RTOL})")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (CI mode on "
+                             "noisy shared runners)")
+    args = parser.parse_args(argv)
+
+    docs = []
+    for path in (args.baseline, args.fresh):
+        try:
+            with open(path) as fh:
+                docs.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+    findings = compare(docs[0], docs[1], rtol=args.rtol)
+
+    regressions = [f for f in findings if f.is_regression]
+    improvements = [f for f in findings if f.kind == "improvement"]
+    warnings = [f for f in findings if f.kind == "warning"]
+    for f in findings:
+        marker = {"regression": "REGRESSION", "improvement": "improved",
+                  "warning": "warning"}[f.kind]
+        print(f"[{marker:>10}] {f.path}: {f.message}")
+    print(f"compared {args.fresh} against {args.baseline}: "
+          f"{len(regressions)} regression(s), {len(improvements)} "
+          f"improvement(s), {len(warnings)} warning(s) "
+          f"(rtol={args.rtol:.0%})")
+    if regressions and args.warn_only:
+        print("warn-only mode: exiting 0 despite regressions")
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,14 @@ parallel ``starts``/``ends`` arrays plus two accelerators that preserve
 The naive reference implementation is retained verbatim in
 :mod:`repro.sim.reference`; the tier-1 equivalence suite replays
 randomized workloads through both and asserts identical placements.
+
+Observability
+-------------
+Charging never interacts with spans directly: every ``record_raw`` the
+timeline performs snapshots :attr:`repro.sim.trace.Trace.active_span`,
+which the span tracker (:mod:`repro.obs.spans`) maintains.  Placement
+and duration are therefore bit-identical whether observability is on,
+off, or absent -- spans are pure metadata and charge nothing.
 """
 
 from __future__ import annotations

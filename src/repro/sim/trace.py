@@ -29,6 +29,17 @@ The iteration API is preserved: ``for iv in trace`` and
 cache them), so the profiler, gantt renderer and trace exporters keep
 working unchanged.  Hot consumers that only need the raw columns use
 :meth:`Trace.rows` and never pay for materialization.
+
+Span attribution
+----------------
+Every interval additionally carries the id of the *causal span* that was
+open when it was recorded (:mod:`repro.obs.spans`): the trace keeps an
+:attr:`Trace.active_span` integer that the span tracker maintains and
+``record_raw`` snapshots per append.  Id 0 means "no span" -- the value
+the column holds for systems running with observability off, so the hot
+path never branches on whether tracing is enabled.  :meth:`Trace.rows`
+keeps its historical 6-tuple shape; span-aware consumers use
+:meth:`Trace.span_rows`.
 """
 
 from __future__ import annotations
@@ -91,6 +102,9 @@ class Interval:
         Free-form annotation (kernel name, buffer id, ...).
     nbytes:
         Bytes moved, for transfer phases (0 for compute).
+    span_id:
+        Id of the causal span that was open when the interval was
+        recorded (0 when no span was open / observability is off).
     """
 
     start: float
@@ -99,6 +113,7 @@ class Interval:
     resource: str
     label: str = ""
     nbytes: int = 0
+    span_id: int = 0
 
     @property
     def duration(self) -> float:
@@ -113,9 +128,10 @@ class Trace:
     """Append-only columnar store of intervals with O(1) aggregation."""
 
     __slots__ = ("_starts", "_ends", "_phases", "_resources", "_labels",
-                 "_nbytes", "_materialized", "_busy_total", "_bytes_total",
-                 "_max_end", "_busy_by_phase", "_busy_by_resource",
-                 "_busy_by_pair", "_bytes_by_phase", "_ops_by_phase")
+                 "_nbytes", "_span_ids", "active_span", "_materialized",
+                 "_busy_total", "_bytes_total", "_max_end", "_busy_by_phase",
+                 "_busy_by_resource", "_busy_by_pair", "_bytes_by_phase",
+                 "_ops_by_phase")
 
     def __init__(self, intervals: Iterable[Interval] | None = None) -> None:
         self._starts: list[float] = []
@@ -124,6 +140,10 @@ class Trace:
         self._resources: list[str] = []
         self._labels: list[str] = []
         self._nbytes: list[int] = []
+        self._span_ids: list[int] = []
+        #: Causal-span id stamped onto each appended interval; maintained
+        #: by the span tracker, 0 when no span is open.
+        self.active_span: int = 0
         #: Cached Interval objects; None until first materialization,
         #: kept in sync by record() afterwards.
         self._materialized: list[Interval] | None = None
@@ -148,21 +168,23 @@ class Trace:
             raise ValueError(
                 f"interval ends before it starts: {interval}"
             )
-        cache = self._materialized
+        # An explicitly tagged interval keeps its span; an untagged one
+        # is attributed to whatever span is currently open.
         self.record_raw(interval.start, interval.end, interval.phase,
-                        interval.resource, interval.label, interval.nbytes)
-        if cache is not None:
-            cache.append(interval)
-            self._materialized = cache
+                        interval.resource, interval.label, interval.nbytes,
+                        span_id=interval.span_id or None)
 
     def record_raw(self, start: float, end: float, phase: Phase,
-                   resource: str, label: str = "", nbytes: int = 0) -> None:
+                   resource: str, label: str = "", nbytes: int = 0,
+                   span_id: int | None = None) -> None:
         """Append one interval without allocating an :class:`Interval`.
 
         The hot path for :class:`~repro.sim.timeline.Timeline`: column
         appends plus running-aggregate updates.  The caller guarantees
         ``end >= start`` (the timeline computes ``end = start +
         duration`` with a validated non-negative duration).
+        ``span_id=None`` (the default) attributes the interval to the
+        currently open causal span.
         """
         self._starts.append(start)
         self._ends.append(end)
@@ -170,6 +192,7 @@ class Trace:
         self._resources.append(resource)
         self._labels.append(label)
         self._nbytes.append(nbytes)
+        self._span_ids.append(self.active_span if span_id is None else span_id)
         if self._materialized is not None:
             self._materialized = None
         duration = end - start
@@ -203,10 +226,10 @@ class Trace:
         if self._materialized is None:
             self._materialized = [
                 Interval(start=s, end=e, phase=p, resource=r, label=lb,
-                         nbytes=nb)
-                for s, e, p, r, lb, nb in zip(
+                         nbytes=nb, span_id=sp)
+                for s, e, p, r, lb, nb, sp in zip(
                     self._starts, self._ends, self._phases, self._resources,
-                    self._labels, self._nbytes)
+                    self._labels, self._nbytes, self._span_ids)
             ]
         return self._materialized
 
@@ -215,6 +238,17 @@ class Trace:
         tuples without materializing :class:`Interval` objects."""
         return zip(self._starts, self._ends, self._phases, self._resources,
                    self._labels, self._nbytes)
+
+    def span_rows(self) -> Iterator[
+            tuple[float, float, Phase, str, str, int, int]]:
+        """Like :meth:`rows` with the causal-span id appended:
+        ``(start, end, phase, resource, label, nbytes, span_id)``."""
+        return zip(self._starts, self._ends, self._phases, self._resources,
+                   self._labels, self._nbytes, self._span_ids)
+
+    def span_of(self, index: int) -> int:
+        """Causal-span id of the ``index``-th recorded interval."""
+        return self._span_ids[index]
 
     # -- aggregation ----------------------------------------------------
 
@@ -269,14 +303,14 @@ class Trace:
         """A new trace containing only intervals in ``phases``."""
         wanted = set(phases)
         out = Trace()
-        for row in self.rows():
+        for row in self.span_rows():
             if row[2] in wanted:
                 out.record_raw(*row)
         return out
 
     def extend(self, other: "Trace") -> None:
         """Append every interval of ``other`` (used to merge sub-traces)."""
-        for row in other.rows():
+        for row in other.span_rows():
             self.record_raw(*row)
 
     def clear(self) -> None:
@@ -286,6 +320,8 @@ class Trace:
         self._resources.clear()
         self._labels.clear()
         self._nbytes.clear()
+        self._span_ids.clear()
+        self.active_span = 0
         self._materialized = None
         self._busy_total = 0.0
         self._bytes_total = 0

@@ -9,6 +9,7 @@ Examples::
     python -m repro.tools.describe --processors
     python -m repro.tools.describe --cache apu
     python -m repro.tools.describe --cache dgpu --cache-policy oracle
+    python -m repro.tools.describe --obs apu
 """
 
 from __future__ import annotations
@@ -119,6 +120,37 @@ def _print_cache(name: str, policy: str) -> int:
     return 0
 
 
+def _print_obs(name: str) -> int:
+    """Run a small instrumented HotSpot pass on a topology and print the
+    full observability story: RunReport (breakdown + critical path +
+    span tree) and the metrics snapshot."""
+    if name not in TOPOLOGIES:
+        print(f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}",
+              file=sys.stderr)
+        return 2
+    from repro.apps.hotspot import HotspotApp
+    from repro.core.system import System
+    from repro.obs.report import RunReport
+
+    _description, factory = TOPOLOGIES[name]
+    system = System(factory())
+    try:
+        app = HotspotApp(system, n=128, iterations=2, steps_per_pass=1,
+                         force_tile=64, seed=1)
+        app.run(system)
+        report = RunReport.from_system(system, name=f"hotspot@{name}")
+        print(report.table())
+        print()
+        print("metrics (prometheus text format):")
+        print(system.metrics.to_prometheus())
+    except NorthupError as exc:
+        print(f"demo run failed on {name!r}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        system.close()
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -156,6 +188,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-policy", metavar="POLICY", default="lru",
                         help="eviction policy for --cache "
                              "(lru, lfu, cost, oracle; default lru)")
+    parser.add_argument("--obs", metavar="NAME",
+                        help="run a small instrumented demo on a topology "
+                             "and print its RunReport (breakdown, critical "
+                             "path, span tree) and metrics snapshot")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -172,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_processors()
     if args.cache:
         return _print_cache(args.cache, args.cache_policy)
+    if args.obs:
+        return _print_obs(args.obs)
     parser.print_help()
     return 0
 

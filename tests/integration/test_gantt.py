@@ -65,6 +65,40 @@ def test_empty_and_validation():
     assert render(t, width=8) == "(no matching resources)"
 
 
+def test_bucket_majority_vote():
+    """When two phases share a bucket, the one covering more of it wins."""
+    t = Trace()
+    # Bucket 0 is [0, 0.125): read covers 0.1 of it, compute only 0.025.
+    t.record(Interval(0.0, 0.1, Phase.IO_READ, "ch", nbytes=1))
+    t.record(Interval(0.1, 1.0, Phase.GPU_COMPUTE, "ch"))
+    row = render(t, width=8).splitlines()[0].split()[-1]
+    assert row[0] == "R"
+    assert row[1:] == "GGGGGGG"
+
+
+def test_width_scales_resolution():
+    """A sliver invisible at coarse width appears at finer width."""
+    t = Trace()
+    t.record(Interval(0.0, 0.01, Phase.IO_READ, "ch", nbytes=1))
+    t.record(Interval(0.01, 1.0, Phase.GPU_COMPUTE, "ch"))
+    coarse = render(t, width=8).splitlines()[0].split()[-1]
+    fine = render(t, width=200).splitlines()[0].split()[-1]
+    assert "R" not in coarse
+    assert fine[0] == "R" and fine[1] == "R"
+
+
+def test_unknown_resource_filter():
+    assert render(trace(), width=8, resources=["nope"]) == \
+        "(no matching resources)"
+
+
+def test_zero_duration_interval_leaves_row_idle():
+    t = Trace()
+    t.record(Interval(1.0, 1.0, Phase.SETUP, "gpu"))
+    row = render(t, width=8).splitlines()[0].split()[-1]
+    assert row == IDLE * 8
+
+
 def test_full_run_renders():
     from repro.apps import GemmApp
     from repro.core.system import System

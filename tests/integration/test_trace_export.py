@@ -5,10 +5,12 @@ import json
 import numpy as np
 
 from repro.apps import GemmApp
+from repro.core.profiler import profile_trace
 from repro.core.system import System
 from repro.memory.units import KB, MB
 from repro.sim.trace import Interval, Phase, Trace
-from repro.tools.trace_export import to_chrome_trace, write_chrome_trace
+from repro.tools.trace_export import (read_chrome_trace, to_chrome_trace,
+                                      write_chrome_trace)
 from repro.topology.builders import apu_two_level
 
 
@@ -45,13 +47,83 @@ def test_resources_map_to_stable_tids():
         assert len(tids) == 1
 
 
+def test_counter_events_accumulate_bytes_per_resource():
+    t = small_trace()
+    t.record(Interval(1.5, 2.0, Phase.IO_READ, "ssd.ch", label="B down",
+                      nbytes=2048))
+    counters = [e for e in to_chrome_trace(t) if e["ph"] == "C"]
+    # Only transfer intervals with bytes feed counters: 2 on ssd.ch.
+    assert [c["name"] for c in counters] == ["bytes:ssd.ch", "bytes:ssd.ch"]
+    assert [c["args"]["cumulative_bytes"] for c in counters] == [1024, 3072]
+    assert to_chrome_trace(t, counters=False) == [
+        e for e in to_chrome_trace(t) if e["ph"] != "C"]
+
+
 def test_write_and_reload(tmp_path):
     path = tmp_path / "run.json"
     count = write_chrome_trace(small_trace(), str(path))
-    assert count == 4
+    # 2 complete + 1 byte counter + 2 thread-name metadata events.
+    assert count == 5
     data = json.loads(path.read_text())
     assert data["displayTimeUnit"] == "ms"
-    assert len(data["traceEvents"]) == 4
+    assert len(data["traceEvents"]) == 5
+
+
+def test_streaming_write_matches_buffered_export(tmp_path):
+    path = tmp_path / "run.json"
+    events = to_chrome_trace(small_trace())
+    count = write_chrome_trace(small_trace(), str(path))
+    assert count == len(events)
+    assert json.loads(path.read_text())["traceEvents"] == events
+
+
+def test_round_trip_reconstructs_trace_exactly(tmp_path):
+    """Export -> parse -> per-resource/per-phase busy time matches the
+    original Breakdown bit-exactly (the raw-seconds channel)."""
+    system = System(apu_two_level(storage_capacity=8 * MB,
+                                  staging_bytes=128 * KB))
+    try:
+        GemmApp(system, m=96, k=96, n=96, seed=2).run(system)
+        trace = system.timeline.trace
+        path = tmp_path / "gemm.json"
+        write_chrome_trace(trace, str(path), spans=system.obs)
+        reloaded = read_chrome_trace(str(path))
+        assert len(reloaded) == len(trace)
+        assert reloaded.by_resource() == trace.by_resource()
+        assert reloaded.by_phase() == trace.by_phase()
+        assert reloaded.bytes_by_phase() == trace.bytes_by_phase()
+        b0, b1 = profile_trace(trace), profile_trace(reloaded)
+        assert b1.makespan == b0.makespan
+        assert b1.by_phase == b0.by_phase
+        assert b1.bytes_by_phase == b0.bytes_by_phase
+        # Labels and span attribution survive too.
+        assert list(reloaded.span_rows()) == list(trace.span_rows())
+    finally:
+        system.close()
+
+
+def test_span_and_flow_events(tmp_path):
+    system = System(apu_two_level(storage_capacity=8 * MB,
+                                  staging_bytes=128 * KB))
+    try:
+        GemmApp(system, m=96, k=96, n=96, seed=2).run(system)
+        events = to_chrome_trace(system.timeline.trace, spans=system.obs)
+        spans_b = [e for e in events if e["ph"] == "b" and e["cat"] == "span"]
+        spans_e = [e for e in events if e["ph"] == "e" and e["cat"] == "span"]
+        assert spans_b and len(spans_b) == len(spans_e)
+        kinds = {e["name"].split(":")[0] for e in spans_b}
+        assert {"divide", "move_down", "compute", "move_up"} <= kinds
+        # Causality arrows: parent->child flows start and finish.
+        tree_flows = [e for e in events if e.get("cat") == "span_tree"]
+        starts = [e for e in tree_flows if e["ph"] == "s"]
+        ends = [e for e in tree_flows if e["ph"] == "f"]
+        assert starts and len(starts) == len(ends)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        # Span events live on their own process, intervals on pid 1.
+        assert {e["pid"] for e in spans_b} == {2}
+        assert all(e["pid"] == 1 for e in events if e["ph"] == "X")
+    finally:
+        system.close()
 
 
 def test_full_app_run_exports(tmp_path):
