@@ -30,6 +30,9 @@ Quick taste::
 
 from repro.core import (BufferHandle, Breakdown, ExecutionContext,
                         NorthupProgram, System, profile_trace)
+from repro.core.scheduler import (EagerScheduler, InOrderScheduler,
+                                  PipelinedScheduler, RandomOrderScheduler,
+                                  Scheduler)
 from repro.topology import TopologyTree, build_from_spec, validate_tree
 from repro.topology.builders import (apu_two_level,
                                      discrete_gpu_three_level,
@@ -48,6 +51,11 @@ __all__ = [
     "BufferHandle",
     "Breakdown",
     "profile_trace",
+    "Scheduler",
+    "EagerScheduler",
+    "InOrderScheduler",
+    "PipelinedScheduler",
+    "RandomOrderScheduler",
     "TopologyTree",
     "build_from_spec",
     "validate_tree",

@@ -411,6 +411,15 @@ class GemmApp(NorthupProgram):
                 ctx.system.release(h)
             state.b_pool.clear()
 
+    def pipeline_window(self, ctx: ExecutionContext, chunks: list) -> int:
+        """Chunks are *not* independent here: the C block accumulates
+        across the k loop (``c_current`` carries from ``p`` to ``p+1``
+        and is only retired at ``last_p``), and ``setup_buffers``
+        asserts the previous block was retired before allocating the
+        next.  The level must stay serial; overlap for GEMM comes from
+        the B buffer pool's virtual-time depth instead."""
+        return 1
+
     def prefetch_hints(self, ctx: ExecutionContext, chunks) -> list[tuple]:
         """Each chunk's A and B windows, in loop order (full-mode cache
         only; the Belady oracle and the lookahead fetcher consume it)."""

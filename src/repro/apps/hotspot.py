@@ -163,10 +163,11 @@ class HotspotApp(NorthupProgram):
 
     # -- pass loop ---------------------------------------------------------
 
-    def run(self, system: System) -> ExecutionContext:
+    def run(self, system: System, *, scheduler=None) -> ExecutionContext:
         """Execute all iterations: one tree sweep per pass, refreshing
         the padded root field in between (the pass's result becomes the
         next pass's input)."""
+        self._scheduler = scheduler
         ctx = root_context(system)
         passes = self.iterations // self.halo
         try:
@@ -233,6 +234,13 @@ class HotspotApp(NorthupProgram):
         plan: _PassPlan = ctx.scratch["plan"]
         children = ctx.node.children
         return children[(chunk.m * plan.tiles_n + chunk.n) % len(children)]
+
+    def pipeline_window(self, ctx: ExecutionContext, chunks: list) -> int:
+        """Blocks are independent and every child's pool holds
+        ``pipeline_depth`` buffer sets, so that many chunks per child
+        may be in flight; set reuse beyond the window is fenced by the
+        lowering pass's buffer-hazard edges."""
+        return self.pipeline_depth * max(1, len(ctx.node.children))
 
     def setup_buffers(self, ctx: ExecutionContext, child: TreeNode,
                       chunk) -> dict:

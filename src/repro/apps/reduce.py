@@ -185,6 +185,11 @@ class ReduceApp(NorthupProgram):
         sys_.release(pay["out"])   # the mapped partial slot
         sys_.release(pay["data"])
 
+    def pipeline_window(self, ctx: ExecutionContext, chunks: list) -> int:
+        """Chunks fold into disjoint mapped partial slots and the chunk
+        sizing reserves room for two chunk buffers (``copies=2``)."""
+        return 2
+
     def after_level(self, ctx: ExecutionContext) -> None:
         """Combine the partials and move the single value up."""
         sys_ = ctx.system

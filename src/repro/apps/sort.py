@@ -152,10 +152,16 @@ class SortApp(NorthupProgram):
                          chunk: Range1D) -> None:
         ctx.system.release(child_ctx.scratch["raw_payload"]["buf"])
 
+    def pipeline_window(self, ctx: ExecutionContext, chunks: list) -> int:
+        """Runs are disjoint slices of the parent array and the chunk
+        budget reserves room for two run buffers (``copies=2``)."""
+        return 2
+
     # -- phase 2: k-way merge passes ----------------------------------------
 
-    def run(self, system: System) -> ExecutionContext:
+    def run(self, system: System, *, scheduler=None) -> ExecutionContext:
         from repro.core.context import root_context
+        self._scheduler = scheduler
         ctx = root_context(system)
         ctx.payload = SortLevel(data=self.data_root, n=self.n)
         self.recurse(ctx)                      # phase 1

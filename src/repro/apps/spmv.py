@@ -111,11 +111,12 @@ class SpmvApp(NorthupProgram):
 
     # -- sweep loop --------------------------------------------------------
 
-    def run(self, system: System) -> ExecutionContext:
+    def run(self, system: System, *, scheduler=None) -> ExecutionContext:
         """Execute ``iterations`` sweeps of y = A x.  The operands never
         change, so each sweep recomputes the identical y; what differs
         is the data movement -- with a transparent cache, shards left
         resident by one sweep are served locally in the next."""
+        self._scheduler = scheduler
         ctx = root_context(system)
         try:
             self.before_run(ctx)
@@ -292,6 +293,11 @@ class SpmvApp(NorthupProgram):
         pay = child_ctx.scratch["raw_payload"]
         for key in ("row_ptr", "col_id", "data", "y"):
             sys_.release(pay[key])
+
+    def pipeline_window(self, ctx: ExecutionContext, chunks: list) -> int:
+        """Shards touch disjoint row ranges and the shard sizing
+        reserves capacity for two resident shard sets."""
+        return 2
 
     def after_run(self, ctx: ExecutionContext) -> None:
         """Release the cascaded x copies (the root's stays)."""

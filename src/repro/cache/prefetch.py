@@ -57,6 +57,34 @@ class PrefetchEngine:
             count += 1
         return count
 
+    def plan_from_graph(self, parent: TreeNode, graph, *,
+                        replace: bool = True) -> int:
+        """Install a level's plan from its lowered task graph.
+
+        The lowering pass (:func:`repro.plan.lower.lower_level`)
+        attaches the program's hints -- the compatibility shim -- to
+        ``graph.meta["prefetch_hints"]``; the graph's ``move_down``
+        nodes say which children actually receive transfers.  Hints
+        aimed at a child no ``move_down`` node targets are dropped
+        (they would poison the Belady ranking with fetches that never
+        happen); the survivors keep their program order, which is what
+        the oracle's future-distance metric is defined over.
+
+        Returns the number of planned fetches, like :meth:`plan_level`.
+        """
+        hints = graph.meta.get("prefetch_hints")
+        if not hints:
+            return 0
+        from repro.plan.graph import MOVE_DOWN
+
+        targets = {n.tree_node for n in graph.nodes if n.kind == MOVE_DOWN}
+        kept = [(child, spec) for child, spec in hints
+                if child.node_id in targets]
+        dropped = len(hints) - len(kept)
+        if dropped:
+            graph.meta["prefetch_hints_dropped"] = dropped
+        return self.plan_level(parent, kept, replace=replace)
+
     def pending(self, node_id: int) -> list[FetchSpec]:
         return self._plans.get(node_id, [])
 

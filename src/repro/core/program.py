@@ -3,8 +3,10 @@
 A :class:`NorthupProgram` expresses an application as the paper's
 ``myfunction``: check for a leaf, otherwise decompose, set up buffers on
 the next level, move each chunk down, spawn recursively, and move
-results back up.  The driver below is that function; applications
-implement the hooks.
+results back up.  Applications implement the hooks; the driver *lowers*
+each level into a task graph (:mod:`repro.plan`) and hands it to a
+pluggable scheduler (:mod:`repro.core.scheduler`) -- pass one via
+``program.run(system, scheduler=...)``.
 
 The hooks intentionally mirror Listing 3's helper names
 (``compute_task``, ``setup_buffers``, ``data_down``, ``data_up``) so a
@@ -18,7 +20,6 @@ from typing import Any, Iterable
 
 from repro.core.context import ExecutionContext, root_context
 from repro.core.system import System
-from repro.errors import SchedulerError
 from repro.topology.node import TreeNode
 
 
@@ -76,22 +77,15 @@ class NorthupProgram(ABC):
                          child_ctx: ExecutionContext, chunk: Any) -> None:
         """Release the chunk's child-level buffers.
 
-        Default: release every :class:`BufferHandle` found in a dict or
-        list payload.  Apps that cache buffers across chunks (the GEMM
-        row-shard reuse) override this.
+        Default: release every :class:`BufferHandle` reachable in the
+        payload, recursing through nested dicts, lists and tuples (a
+        dict-of-dict payload releases just like a flat one).  Apps that
+        cache buffers across chunks (the GEMM row-shard reuse) override
+        this.
         """
-        from repro.core.buffers import BufferHandle
+        from repro.plan.graph import collect_handles
 
-        payload = child_ctx.payload
-        handles: list[BufferHandle] = []
-        if isinstance(payload, dict):
-            handles = [v for v in payload.values()
-                       if isinstance(v, BufferHandle)]
-        elif isinstance(payload, (list, tuple)):
-            handles = [v for v in payload if isinstance(v, BufferHandle)]
-        elif isinstance(payload, BufferHandle):
-            handles = [payload]
-        for h in handles:
+        for h in collect_handles(child_ctx.payload):
             if not h.released:
                 ctx.system.release(h)
 
@@ -109,6 +103,22 @@ class NorthupProgram(ABC):
         """
         return None
 
+    def pipeline_window(self, ctx: ExecutionContext,
+                        chunks: list[Any]) -> int:
+        """How many chunks of this level may hold buffers at once.
+
+        The :class:`~repro.core.scheduler.PipelinedScheduler` asks this
+        before overlapping chunks: returning W > 1 declares that (a)
+        the level's buffer budget accommodates W chunks in flight and
+        (b) chunks are independent apart from the buffer overlaps the
+        lowering pass can see in their payload handles.  The default,
+        1, keeps every level serial -- the eager memory footprint and
+        ordering.  Apps that already provision double buffers
+        (``BufferPool`` depth, per-chunk allocation budgeted for two
+        copies) override this to match that depth.
+        """
+        return 1
+
     # -- optional lifecycle hooks -------------------------------------------
 
     def before_run(self, ctx: ExecutionContext) -> None:
@@ -125,19 +135,32 @@ class NorthupProgram(ABC):
 
     # -- the driver (Listing 3's myfunction) ----------------------------------
 
+    #: Executor installed by :meth:`run` (class default so programs
+    #: whose custom ``run`` predates the plan layer still resolve one).
+    _scheduler = None
+
+    def scheduler(self):
+        """The active level executor (installing the default
+        :class:`~repro.core.scheduler.InOrderScheduler` on first use)."""
+        if self._scheduler is None:
+            from repro.core.scheduler import InOrderScheduler
+            self._scheduler = InOrderScheduler()
+        return self._scheduler
+
     def recurse(self, ctx: ExecutionContext) -> None:
-        """One recursion level: compute at a leaf, otherwise chunk and
-        descend.
+        """One recursion level: compute at a leaf, otherwise lower the
+        level into a task graph and hand it to the active scheduler.
 
         Each level anchors a :class:`~repro.core.scheduler.LevelQueue`
         at its tree node (Listing 1's ``work_queue``): given n chunks, n
         tasks are enqueued and advanced through queued -> moving ->
         resident -> computed -> done as the chunk progresses
-        (Section III-C's progress tracking, and the state a dynamic load
-        balancer would inspect).
+        (Section III-C's progress tracking).  How the chunks *execute*
+        -- strictly in order, pipelined, randomised -- is the
+        scheduler's choice (:mod:`repro.core.scheduler`); what they
+        compute is pinned by the graph's dependency edges
+        (:mod:`repro.plan`).
         """
-        from repro.core.scheduler import LevelQueue, TaskState
-
         obs = ctx.system.obs
         if ctx.is_leaf:
             leaf_span = obs.open("compute", node_id=ctx.node.node_id)
@@ -146,70 +169,21 @@ class NorthupProgram(ABC):
             finally:
                 obs.close(leaf_span)
             return
-        divide_span = obs.open("divide", node_id=ctx.node.node_id)
-        try:
-            queue = LevelQueue(level=ctx.node.level)
-            ctx.node.work_queues = [queue]
-            ctx.scratch["level_queue"] = queue
-            chunks = list(self.decompose(ctx))
-            tasks = [queue.enqueue(chunk) for chunk in chunks]
-            ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
-            divide_span.annotate("chunks", len(chunks))
-            if ctx.system.cache.transparent:
-                hints = self.prefetch_hints(ctx, chunks)
-                if hints is not None:
-                    planned = ctx.system.cache.engine.plan_level(ctx.node,
-                                                                 hints)
-                    if planned:
-                        ctx.system.charge_runtime(1, label="prefetch plan")
-                        for task in tasks:
-                            task.mark_prefetched()
-                        divide_span.annotate("prefetch_planned", planned)
-            for chunk, task in zip(chunks, tasks):
-                child = self.select_child(ctx, chunk)
-                if child.parent is not ctx.node:
-                    raise SchedulerError(
-                        f"select_child returned node {child.node_id}, not a "
-                        f"child of {ctx.node.node_id}")
-                span = obs.open("setup", node_id=child.node_id)
-                try:
-                    payload = self.setup_buffers(ctx, child, chunk)
-                    child_ctx = ctx.descend(child, chunk=chunk,
-                                            payload=payload)
-                finally:
-                    obs.close(span)
-                task.advance(TaskState.MOVING)
-                span = obs.open("move_down", node_id=child.node_id)
-                try:
-                    self.data_down(ctx, child_ctx, chunk)
-                finally:
-                    obs.close(span)
-                task.advance(TaskState.RESIDENT)
-                self.recurse(child_ctx)
-                task.advance(TaskState.COMPUTED)
-                span = obs.open("move_up", node_id=child.node_id)
-                try:
-                    self.data_up(ctx, child_ctx, chunk)
-                finally:
-                    obs.close(span)
-                span = obs.open("combine", node_id=ctx.node.node_id)
-                try:
-                    self.teardown_buffers(ctx, child_ctx, chunk)
-                finally:
-                    obs.close(span)
-                task.advance(TaskState.DONE)
-            self.after_level(ctx)
-        finally:
-            obs.close(divide_span)
+        self.scheduler().execute_level(self, ctx)
 
-    def run(self, system: System) -> ExecutionContext:
+    def run(self, system: System, *, scheduler=None) -> ExecutionContext:
         """Execute the program from the tree root; returns the root
         context (whose payload typically holds the result handles).
+
+        ``scheduler`` selects the level executor (default: the
+        graph-replaying :class:`~repro.core.scheduler.InOrderScheduler`,
+        bit-identical to the historical eager driver).
 
         Always ends with cache cleanup (leases dropped, write-back IOUs
         settled, unpinned blocks released), so a program finishes with
         the same live-buffer census it would have had without caching.
         """
+        self._scheduler = scheduler
         ctx = root_context(system)
         root_span = system.obs.open("run", label=type(self).__name__,
                                     node_id=ctx.node.node_id)

@@ -57,6 +57,21 @@ class WorkQueue:
         self.steals_suffered += 1
         return self._items.popleft()
 
+    def restore(self, task: Any, *, head: bool = False) -> None:
+        """Put a popped/stolen task back without counting a push.
+
+        DAG-aware policies (:mod:`repro.core.stealing`) pop a task and
+        may find its graph dependencies unfinished; restoring keeps the
+        queue's counters equal to what a plain list of always-ready
+        tasks would produce.  ``head=True`` undoes a :meth:`steal` (the
+        steal counter is left incremented deliberately -- the attempt
+        happened).
+        """
+        if head:
+            self._items.appendleft(task)
+        else:
+            self._items.append(task)
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -93,6 +108,25 @@ class QueueSet:
         Figure 10 organisation assigns rows of blocks to queues)."""
         for i, task in enumerate(tasks):
             self.queues[i % len(self.queues)].push(task)
+
+    def push_ready_from_graph(self, graph, *, kind: str | None = None) -> int:
+        """Distribute a :class:`~repro.plan.graph.TaskGraph`'s ready
+        nodes round-robin across the queues; returns how many were
+        pushed.
+
+        ``kind`` restricts to one node kind (typically ``"compute"`` --
+        queue workers execute kernels, not transfers).  Nodes already
+        pushed once are skipped (tracked via ``node.meta["queued"]``),
+        so the helper can be called again after :meth:`TaskGraph
+        .mark_done` unlocks successors.
+        """
+        fresh = [n for n in graph.ready()
+                 if (kind is None or n.kind == kind)
+                 and not n.meta.get("queued")]
+        for i, node in enumerate(fresh):
+            node.meta["queued"] = True
+            self.queues[i % len(self.queues)].push(node)
+        return len(fresh)
 
     def total_pending(self) -> int:
         return sum(len(q) for q in self.queues)

@@ -1,4 +1,4 @@
-"""Per-level task tracking and multi-stage transfer pipelining.
+"""Per-level task tracking, transfer pipelining, and graph executors.
 
 Section III-C: "We also support task queues to keep track of the
 progress of data movement for individual chunks ... This enables
@@ -6,22 +6,32 @@ multi-stage data transfer and better parallelism.  Whenever the space of
 lower memory levels is freed, more chunks can be scheduled for
 movement."
 
-Two pieces implement that here:
+Four pieces implement that here:
 
 * :class:`LevelQueue` -- a bookkeeping queue of chunk tasks per memory
   level, recording state transitions (queued -> moving -> resident ->
   computed -> written-back).  Its counters feed the runtime-overhead
-  measurement.
+  measurement and are exported as metrics gauges.
 * :class:`BufferPool` -- N interchangeable buffer *sets* on a node.
-  Acquiring sets round-robin is the pipelining mechanism: because a
-  buffer may only be overwritten after its last reader finished
-  (tracked on the handle), N sets give a prefetch depth of N-1 with no
-  further scheduling code.
+  Acquiring sets round-robin bounds pipelining depth in *virtual time*:
+  a buffer may only be overwritten after its last reader finished
+  (tracked on the handle).
+* The **schedulers** -- pluggable executors of the lowered task graph
+  (:mod:`repro.plan`).  :class:`EagerScheduler` is the historical
+  inline driver (kept as the bit-identity reference);
+  :class:`InOrderScheduler` lowers each level and replays the graph
+  depth-first (bit-identical to eager by the lowering contract);
+  :class:`PipelinedScheduler` dispatches ready nodes by stage priority,
+  overlapping chunk k+1's ``move_down`` with chunk k's ``compute``
+  whenever the edges allow; :class:`RandomOrderScheduler` executes a
+  seeded random topological order (the equivalence property tests).
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -88,6 +98,14 @@ class LevelQueue:
     def prefetch_planned(self) -> int:
         return sum(1 for t in self.tasks if t.prefetched)
 
+    def state_counts(self) -> dict[str, int]:
+        """``state name -> task count`` over every tracked state (the
+        payload of the ``level_queue_state`` metrics gauges)."""
+        counts = dict.fromkeys((s.value for s in _ORDER), 0)
+        for t in self.tasks:
+            counts[t.state.value] += 1
+        return counts
+
     def progress(self) -> str:
         return (f"L{self.level}: " + " ".join(
             f"{s.value}={self.count(s)}" for s in _ORDER))
@@ -142,3 +160,220 @@ class BufferPool:
 
     def __exit__(self, *exc) -> None:
         self.release_all()
+
+
+# -- graph executors ---------------------------------------------------------
+
+class Scheduler:
+    """Base of the pluggable level executors.
+
+    ``execute_level`` lowers one non-leaf recursion level into a
+    :class:`~repro.plan.lower.LevelPlan` and drains it; subclasses
+    choose the dispatch order (:meth:`_drain`) and the in-flight window
+    (:meth:`level_window`).  Leaf levels never reach a scheduler -- the
+    driver computes them directly.
+
+    Set ``keep_plans=True`` to retain every drained plan on
+    :attr:`plans` (``describe --plan`` and the graph-aware analyses
+    read them back).
+    """
+
+    def __init__(self, *, keep_plans: bool = False) -> None:
+        self.keep_plans = keep_plans
+        self.plans: list = []
+
+    def level_window(self, program, ctx, chunks: list) -> int:
+        """In-flight chunk cap for this level (1 = fully serial)."""
+        return 1
+
+    def execute_level(self, program, ctx) -> None:
+        from repro.plan.lower import lower_level
+
+        plan = lower_level(
+            program, ctx,
+            window=lambda chunks: self.level_window(program, ctx, chunks))
+        if self.keep_plans:
+            self.plans.append(plan)
+        try:
+            self._drain(plan)
+            plan.finish()
+        finally:
+            plan.close()
+
+    def _drain(self, plan) -> None:
+        raise NotImplementedError
+
+
+class InOrderScheduler(Scheduler):
+    """Replay the lowered graph depth-first in recorded program order.
+
+    This is the default executor: by the lowering contract
+    (:mod:`repro.plan.lower`) the replay performs exactly the timeline
+    charges the historical eager driver performed, in the same order,
+    so makespans and result bytes are bit-identical to
+    :class:`EagerScheduler` -- the property the equivalence suite
+    pins down on every fig6-fig11 configuration.
+    """
+
+    def _drain(self, plan) -> None:
+        plan.run_in_order()
+
+
+class PipelinedScheduler(Scheduler):
+    """Overlap chunk k+1's ``move_down`` with chunk k's ``compute``.
+
+    Ready nodes are dispatched by stage priority (setup, then
+    move_down, then compute, then move_up/combine; ties by chunk
+    index), so transfers are *issued* ahead of the stages that retire
+    earlier chunks.  On a shared half-duplex channel that issue order
+    is what the timeline's backfill cannot recover by itself: the eager
+    order books ``move_up(k)`` before ``move_down(k+1)`` exists, and
+    when the idle gap between them is shorter than the down transfer,
+    chunk k+1 serialises behind traffic it does not depend on.
+
+    How far ahead the pipeline may run is the program's call --
+    :meth:`~repro.core.program.NorthupProgram.pipeline_window` declares
+    how many chunks may hold buffers at once (the level's memory
+    budget, and an independence assertion for everything outside the
+    buffer-hazard edges).  An explicit ``window=`` overrides the hint.
+    """
+
+    def __init__(self, *, window: int | None = None,
+                 keep_plans: bool = False) -> None:
+        super().__init__(keep_plans=keep_plans)
+        self.window = window
+
+    def level_window(self, program, ctx, chunks: list) -> int:
+        if self.window is not None:
+            return max(1, self.window)
+        return max(1, program.pipeline_window(ctx, chunks))
+
+    def _drain(self, plan) -> None:
+        from repro.plan.graph import STAGE_RANK
+
+        graph = plan.graph
+        heap = [(STAGE_RANK[n.kind], n.chunk_index, n.node_id)
+                for n in graph.nodes if not n.preds]
+        heapq.heapify(heap)
+        executed = 0
+        while heap:
+            _rank, _chunk, nid = heapq.heappop(heap)
+            node = graph.nodes[nid]
+            # A buffer edge discovered after this entry was pushed can
+            # retract readiness; the node re-enters the heap when the
+            # late predecessor completes.
+            if not graph.is_ready(node):
+                continue
+            plan.execute(node)
+            executed += 1
+            for succ_id in node.succs:
+                succ = graph.nodes[succ_id]
+                if graph.is_ready(succ):
+                    heapq.heappush(
+                        heap,
+                        (STAGE_RANK[succ.kind], succ.chunk_index, succ_id))
+        if executed != len(graph):
+            raise SchedulerError(
+                f"pipelined drain stalled: {len(graph) - executed} of "
+                f"{len(graph)} nodes unreachable (dependency cycle?)")
+
+
+class RandomOrderScheduler(Scheduler):
+    """Execute a seeded uniformly-random topological order.
+
+    The equivalence property test's vehicle: *any* edge-respecting
+    order must produce bit-identical result arrays and move the same
+    bytes, because the edges carry every cross-chunk dependency.
+    Virtual makespans may legitimately differ between orders (issue
+    order steers the timeline's greedy placement); results may not.
+    """
+
+    def __init__(self, seed: int, *, window: int | None = None,
+                 keep_plans: bool = False) -> None:
+        super().__init__(keep_plans=keep_plans)
+        self.rng = random.Random(seed)
+        self.window = window
+
+    def level_window(self, program, ctx, chunks: list) -> int:
+        if self.window is not None:
+            return max(1, self.window)
+        return max(1, program.pipeline_window(ctx, chunks))
+
+    def _drain(self, plan) -> None:
+        graph = plan.graph
+        while not graph.complete:
+            ready = graph.ready()
+            if not ready:
+                raise SchedulerError(
+                    f"random drain stalled with {graph.remaining} "
+                    f"pending nodes (dependency cycle?)")
+            plan.execute(ready[self.rng.randrange(len(ready))])
+
+
+class EagerScheduler(Scheduler):
+    """The historical inline driver, kept as the bit-identity reference.
+
+    Executes each level's chunk loop directly -- no graph, no plan --
+    exactly as ``NorthupProgram.recurse`` did before the plan/execute
+    split.  The scheduler-equivalence suite runs every app under this
+    and under :class:`InOrderScheduler` and asserts identical makespans
+    and result bytes.
+    """
+
+    def execute_level(self, program, ctx) -> None:
+        obs = ctx.system.obs
+        divide_span = obs.open("divide", node_id=ctx.node.node_id)
+        try:
+            queue = LevelQueue(level=ctx.node.level)
+            ctx.node.work_queues = [queue]
+            ctx.scratch["level_queue"] = queue
+            chunks = list(program.decompose(ctx))
+            tasks = [queue.enqueue(chunk) for chunk in chunks]
+            ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
+            divide_span.annotate("chunks", len(chunks))
+            if ctx.system.cache.transparent:
+                hints = program.prefetch_hints(ctx, chunks)
+                if hints is not None:
+                    planned = ctx.system.cache.engine.plan_level(ctx.node,
+                                                                 hints)
+                    if planned:
+                        ctx.system.charge_runtime(1, label="prefetch plan")
+                        for task in tasks:
+                            task.mark_prefetched()
+                        divide_span.annotate("prefetch_planned", planned)
+            for chunk, task in zip(chunks, tasks):
+                child = program.select_child(ctx, chunk)
+                if child.parent is not ctx.node:
+                    raise SchedulerError(
+                        f"select_child returned node {child.node_id}, not a "
+                        f"child of {ctx.node.node_id}")
+                span = obs.open("setup", node_id=child.node_id)
+                try:
+                    payload = program.setup_buffers(ctx, child, chunk)
+                    child_ctx = ctx.descend(child, chunk=chunk,
+                                            payload=payload)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.MOVING)
+                span = obs.open("move_down", node_id=child.node_id)
+                try:
+                    program.data_down(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.RESIDENT)
+                program.recurse(child_ctx)
+                task.advance(TaskState.COMPUTED)
+                span = obs.open("move_up", node_id=child.node_id)
+                try:
+                    program.data_up(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                span = obs.open("combine", node_id=ctx.node.node_id)
+                try:
+                    program.teardown_buffers(ctx, child_ctx, chunk)
+                finally:
+                    obs.close(span)
+                task.advance(TaskState.DONE)
+            program.after_level(ctx)
+        finally:
+            obs.close(divide_span)

@@ -30,9 +30,14 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.queues import WorkQueue
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulerError
 from repro.sim.trace import Phase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.plan.graph import TaskGraph
 
 #: Concurrent workgroups the APU GPU needs for full throughput
 #: (8 SIMD engines x 4 waves, matching GpuProcessor's occupancy model).
@@ -183,69 +188,137 @@ class StealStats:
         return self.tasks_gpu + self.tasks_cpu
 
 
+def lower_chunk_graph(cfg: StealConfig) -> "TaskGraph":
+    """Lower one resident chunk's row-of-blocks tasks into a
+    :class:`~repro.plan.graph.TaskGraph` of ``compute`` nodes.
+
+    The paper's chunk is fully resident before any task runs, so the
+    graph is *flat* -- every node is ready at chunk time zero and the
+    stealing policy degenerates to the classic list schedule.  Callers
+    may add edges before simulation (e.g. wavefront dependencies
+    between stencil rows) and the policy respects them.
+    """
+    from repro.plan.graph import COMPUTE, TaskGraph
+
+    graph = TaskGraph()
+    graph.meta["tasks_per_chunk"] = cfg.tasks_per_chunk
+    for t in range(cfg.tasks_per_chunk):
+        node = graph.add_node(COMPUTE, chunk_index=t, label=f"row{t}",
+                              weight=cfg.cells_per_task)
+        node.meta["task"] = StealTask(row=t, cells=cfg.cells_per_task)
+    return graph
+
+
 def _distribute(cfg: StealConfig, gpu_queues: list[WorkQueue],
-                cpu_queues: list[WorkQueue]) -> None:
-    """Smooth weighted round-robin: GPU queues weight 1, CPU queues
-    weight ``cpu_queue_weight``.  Deterministic."""
+                cpu_queues: list[WorkQueue], graph: "TaskGraph") -> None:
+    """Smooth weighted round-robin over the graph's compute nodes: GPU
+    queues weight 1, CPU queues weight ``cpu_queue_weight``.
+    Deterministic.  Distribution ignores readiness -- queues hold the
+    whole chunk's tasks up front, exactly as Listing 1 populates
+    ``work_queue[numQueues]``; readiness gates *popping*, not pushing.
+    """
     queues = gpu_queues + cpu_queues
     weights = ([1.0] * len(gpu_queues)
                + [cfg.cpu_queue_weight] * len(cpu_queues))
     total = sum(weights)
     credits = [0.0] * len(queues)
-    for t in range(cfg.tasks_per_chunk):
+    for node in graph.nodes:
         for i, w in enumerate(weights):
             credits[i] += w
         j = max(range(len(queues)), key=lambda i: (credits[i], -i))
         credits[j] -= total
-        queues[j].push(StealTask(row=t, cells=cfg.cells_per_task))
+        queues[j].push(node)
 
 
-def simulate_chunk(cfg: StealConfig) -> ChunkOutcome:
+def simulate_chunk(cfg: StealConfig, *,
+                   graph: "TaskGraph | None" = None) -> ChunkOutcome:
     """List-schedule one resident chunk's tasks over the workers.
 
-    All tasks are available at chunk time zero (the chunk is fully
-    resident); workers greedily pop from their own queue's tail and --
-    GPU side only, when enabled -- steal from the head of the longest
-    CPU queue.  Deterministic: ties break on worker index.
+    The chunk's tasks are lowered into a task graph (or supplied via
+    ``graph``) and consumed as a DAG policy: workers pop *ready*
+    ``compute`` nodes from their own queue's tail and -- GPU side only,
+    when enabled -- steal ready nodes from the head of the longest CPU
+    queue.  A popped node whose predecessors are still running is
+    restored and the worker retries at the next task-completion time.
+    For the flat graphs :func:`lower_chunk_graph` builds, every node is
+    ready at time zero and the schedule (and every statistic) is
+    identical to the original queue-only policy.  Deterministic: ties
+    break on worker index.
     """
+    if graph is None:
+        graph = lower_chunk_graph(cfg)
     gpu_queues = [WorkQueue(name=f"gpu-q{i}", owner=f"gpu-wg{i}")
                   for i in range(cfg.gpu_queues)]
     cpu_queues = [WorkQueue(name=f"cpu-q{i}", owner=f"cpu-t{i}")
                   for i in range(cfg.cpu_threads)]
-    _distribute(cfg, gpu_queues, cpu_queues)
+    _distribute(cfg, gpu_queues, cpu_queues, graph)
 
     outcome = ChunkOutcome(duration=0.0, tasks_gpu=0, tasks_cpu=0,
                            steals=0, gpu_busy=0.0, cpu_busy=0.0)
 
-    def take(kind: str, own: WorkQueue) -> StealTask | None:
-        task = own.pop()
-        if task is not None:
-            return task
+    def take(kind: str, own: WorkQueue):
+        # Pop from the own tail, skipping (and restoring) nodes whose
+        # predecessors haven't finished.
+        deferred = []
+        node = None
+        while True:
+            cand = own.pop()
+            if cand is None:
+                break
+            if graph.is_ready(cand):
+                node = cand
+                break
+            deferred.append(cand)
+        for d in reversed(deferred):
+            own.restore(d)
+        if node is not None:
+            return node
         if kind == "gpu" and cfg.steal_enabled:
             victims = sorted((q for q in cpu_queues if not q.empty),
                              key=lambda q: (-len(q), q.name))
             for victim in victims:
                 stolen = victim.steal()
-                if stolen is not None:
+                if stolen is None:
+                    continue
+                if graph.is_ready(stolen):
                     outcome.steals += 1
                     return stolen
+                victim.restore(stolen, head=True)
         return None
 
-    # (free_time, index, kind, rate, own_queue) -- index breaks ties.
-    heap: list[tuple[float, int, str, float, WorkQueue]] = []
+    # (free_time, index, kind, rate, own_queue, finishing_node) --
+    # index breaks ties before the non-comparable payload fields.
+    heap: list = []
     idx = 0
     for q in gpu_queues:
-        heapq.heappush(heap, (0.0, idx, "gpu", cfg.gpu_rate_per_workgroup(), q))
+        heapq.heappush(heap, (0.0, idx, "gpu", cfg.gpu_rate_per_workgroup(),
+                              q, None))
         idx += 1
     for q in cpu_queues:
-        heapq.heappush(heap, (0.0, idx, "cpu", cfg.cpu_rate_per_thread(), q))
+        heapq.heappush(heap, (0.0, idx, "cpu", cfg.cpu_rate_per_thread(),
+                              q, None))
         idx += 1
 
+    # Workers whose reachable queues hold only blocked nodes; readiness
+    # changes exactly at task completions, so they re-enter the heap at
+    # the next completion time.
+    starved: list = []
     while heap:
-        now, i, kind, rate, own = heapq.heappop(heap)
-        task = take(kind, own)
-        if task is None:
-            continue  # worker retires; no new tasks arrive mid-chunk
+        now, i, kind, rate, own, finishing = heapq.heappop(heap)
+        if finishing is not None:
+            graph.mark_done(finishing)
+            for si, skind, srate, sown in starved:
+                heapq.heappush(heap, (now, si, skind, srate, sown, None))
+            starved.clear()
+        node = take(kind, own)
+        if node is None:
+            if own.empty and (kind != "gpu" or not cfg.steal_enabled
+                              or all(q.empty for q in cpu_queues)):
+                continue  # worker retires; no reachable work remains
+            starved.append((i, kind, rate, own))
+            continue
+        graph.mark_running(node)
+        task: StealTask = node.meta["task"]
         duration = task.cells / rate
         end = now + duration
         if kind == "gpu":
@@ -255,8 +328,13 @@ def simulate_chunk(cfg: StealConfig) -> ChunkOutcome:
             outcome.tasks_cpu += 1
             outcome.cpu_busy += duration
         outcome.duration = max(outcome.duration, end)
-        heapq.heappush(heap, (end, i, kind, rate, own))
+        heapq.heappush(heap, (end, i, kind, rate, own, node))
 
+    if not graph.complete:
+        raise SchedulerError(
+            f"stealing graph stalled with {graph.remaining} nodes "
+            "unexecuted (dependency cycle, or every owner of a blocked "
+            "node retired)")
     leftover = sum(len(q) for q in gpu_queues + cpu_queues)
     assert leftover == 0, "every queue has an owner; nothing can strand"
     return outcome

@@ -1051,6 +1051,9 @@ class System:
                               labels=qlabels)
                     reg.gauge("level_queue_prefetch_planned",
                               queue.prefetch_planned, labels=qlabels)
+                    for state, count in queue.state_counts().items():
+                        reg.gauge("level_queue_state", count,
+                                  labels=dict(qlabels, state=state))
 
     def makespan(self) -> float:
         """End-to-end virtual time of everything charged so far.

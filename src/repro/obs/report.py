@@ -145,6 +145,19 @@ class RunReport:
             parts.append(f"  {res:<16}{secs:>12.6f}")
         parts.append("")
         parts.append(self.path.table())
+        queue_rows = (self.metrics or {}).get("level_queue_state", [])
+        if queue_rows:
+            parts.append("")
+            parts.append("level-queue task states (node/level):")
+            per_queue: dict[tuple[str, str], dict[str, int]] = {}
+            for row in queue_rows:
+                labels = row.get("labels", {})
+                key = (labels.get("node", "?"), labels.get("level", "?"))
+                per_queue.setdefault(key, {})[labels.get("state", "?")] = \
+                    int(row.get("value", 0))
+            for (node, level), states in sorted(per_queue.items()):
+                counts = " ".join(f"{s}={c}" for s, c in states.items())
+                parts.append(f"  node {node} L{level}: {counts}")
         if self.spans is not None:
             parts.append("")
             parts.append(f"span tree ({self.spans['count']} spans, "

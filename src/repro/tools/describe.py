@@ -151,6 +151,57 @@ def _print_obs(name: str) -> int:
     return 0
 
 
+def _print_plan(name: str) -> int:
+    """Lower small example programs on a topology and dump each level's
+    task graph: node counts per kind, edge counts per kind, and the
+    critical-path depth (longest dependency chain, in nodes)."""
+    if name not in TOPOLOGIES:
+        print(f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}",
+              file=sys.stderr)
+        return 2
+    from repro.apps.gemm import GemmApp
+    from repro.apps.hotspot import HotspotApp
+    from repro.apps.reduce import ReduceApp
+    from repro.core.scheduler import InOrderScheduler
+    from repro.core.system import System
+
+    examples = [
+        ("hotspot", lambda s: HotspotApp(s, n=128, iterations=2,
+                                         steps_per_pass=1, force_tile=64,
+                                         seed=1)),
+        ("gemm", lambda s: GemmApp(s, m=96, k=96, n=96, seed=2)),
+        ("reduce", lambda s: ReduceApp(s, n=1 << 16, op="sum", seed=3)),
+    ]
+    _description, factory = TOPOLOGIES[name]
+    print(f"{name}: lowered task graphs of the example programs")
+    for app_name, make in examples:
+        system = System(factory())
+        try:
+            app = make(system)
+            sched = InOrderScheduler(keep_plans=True)
+            app.run(system, scheduler=sched)
+        except NorthupError as exc:
+            print(f"  {app_name}: demo run failed: {exc}", file=sys.stderr)
+            system.close()
+            continue
+        try:
+            print(f"\n{app_name}: {len(sched.plans)} lowered level(s)")
+            for plan in sched.plans:
+                s = plan.graph.stats()
+                kinds = " ".join(f"{k}={v}" for k, v in
+                                 sorted(s["by_kind"].items()))
+                ekinds = " ".join(f"{k}={v}" for k, v in
+                                  sorted(s["edges_by_kind"].items())) or "-"
+                print(f"  level {s['level']} (tree node {s['tree_node']}): "
+                      f"{s['nodes']} nodes [{kinds}]")
+                print(f"    {s['edges']} edges [{ekinds}], "
+                      f"critical depth {s['critical_depth']}, "
+                      f"window {plan.graph.meta.get('window', 1)}")
+        finally:
+            system.close()
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -192,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="run a small instrumented demo on a topology "
                              "and print its RunReport (breakdown, critical "
                              "path, span tree) and metrics snapshot")
+    parser.add_argument("--plan", metavar="NAME", nargs="?", const="apu",
+                        help="lower the example programs on a topology "
+                             "(default apu) and dump each level's task "
+                             "graph: nodes per kind, edges per kind, "
+                             "critical-path depth")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -210,6 +266,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_cache(args.cache, args.cache_policy)
     if args.obs:
         return _print_obs(args.obs)
+    if args.plan:
+        return _print_plan(args.plan)
     parser.print_help()
     return 0
 

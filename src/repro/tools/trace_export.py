@@ -57,17 +57,25 @@ _PID_SPANS = 2
 #: flows use the bare span id).
 _FLOW_PARENT_BASE = 1 << 32
 
+#: Flow-id namespace offset for task-graph dependency arrows.
+_FLOW_GRAPH_BASE = 1 << 33
+
 
 def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
                        counters: bool = True,
-                       spans=None) -> Iterator[dict]:
+                       spans=None, graphs=None) -> Iterator[dict]:
     """Yield Chrome Trace Event dicts one at a time.
 
     ``time_unit`` scales virtual seconds to the format's microseconds
     (the default treats one virtual second as one displayed second).
     ``spans`` is an :class:`~repro.obs.spans.Observer` (or anything with
     a ``spans`` list); when given and non-empty, span tracks and flow
-    arrows are emitted too.
+    arrows are emitted too.  ``graphs`` is an iterable of lowered
+    :class:`~repro.plan.graph.TaskGraph`\\ s (e.g. a scheduler's kept
+    ``plans``' graphs): every dependency edge whose endpoints both
+    charged trace intervals becomes a flow arrow from the source node's
+    last interval to the destination node's first -- the *actual* edges
+    the executor respected, not an inference from timing.
     """
     tids: dict[str, int] = {}
     cum_bytes: dict[str, int] = {}
@@ -78,9 +86,30 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
     #: span ids that have appeared in the trace (flow targets exist).
     first_anchor: dict[int, tuple[float, int]] = {}
 
-    for start, end, phase, resource, label, nbytes, sid in trace.span_rows():
+    #: (src_last_row, dst_first_row, kind, src, dst) per graph edge.
+    graph_edges: list[tuple[int, int, str, object, object]] = []
+    needed_rows: set[int] = set()
+    for g in (graphs or ()):
+        for src, dst, kind in g.edges():
+            if (src.first_interval is None or src.end_interval is None
+                    or dst.first_interval is None
+                    or dst.end_interval is None
+                    or src.end_interval <= src.first_interval
+                    or dst.end_interval <= dst.first_interval):
+                continue
+            srow, drow = src.end_interval - 1, dst.first_interval
+            graph_edges.append((srow, drow, kind, src, dst))
+            needed_rows.add(srow)
+            needed_rows.add(drow)
+    #: row index -> (start ts, end ts, tid), only for flow endpoints.
+    row_anchor: dict[int, tuple[float, float, int]] = {}
+
+    for row_idx, (start, end, phase, resource, label, nbytes, sid) \
+            in enumerate(trace.span_rows()):
         tid = tids.setdefault(resource, len(tids) + 1)
         ts = start * time_unit
+        if row_idx in needed_rows:
+            row_anchor[row_idx] = (ts, end * time_unit, tid)
         event = {
             "name": label or phase.value,
             "cat": phase.value,
@@ -174,6 +203,23 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
         yield {"name": "process_name", "ph": "M", "pid": _PID_SPANS,
                "args": {"name": "spans"}}
 
+    # Task-graph dependency arrows: src's last interval -> dst's first.
+    for i, (srow, drow, kind, src, dst) in enumerate(graph_edges):
+        if srow not in row_anchor or drow not in row_anchor:
+            continue
+        _s_start, s_end, s_tid = row_anchor[srow]
+        d_start, _d_end, d_tid = row_anchor[drow]
+        fid = _FLOW_GRAPH_BASE + i
+        args = {"edge": kind,
+                "src": f"{src.kind}#{src.chunk_index}",
+                "dst": f"{dst.kind}#{dst.chunk_index}"}
+        yield {"name": f"dep:{kind}", "cat": "task_graph", "ph": "s",
+               "id": fid, "ts": s_end, "pid": _PID_RESOURCES,
+               "tid": s_tid, "args": args}
+        yield {"name": f"dep:{kind}", "cat": "task_graph", "ph": "f",
+               "bp": "e", "id": fid, "ts": d_start,
+               "pid": _PID_RESOURCES, "tid": d_tid, "args": args}
+
     # Thread-name metadata so tracks are labelled by resource.
     for resource, tid in tids.items():
         yield {
@@ -183,15 +229,17 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
 
 
 def to_chrome_trace(trace: Trace, *, time_unit: float = 1e6,
-                    counters: bool = True, spans=None) -> list[dict]:
+                    counters: bool = True, spans=None,
+                    graphs=None) -> list[dict]:
     """Convert a trace to a list of Chrome Trace Event dicts."""
     return list(iter_chrome_events(trace, time_unit=time_unit,
-                                   counters=counters, spans=spans))
+                                   counters=counters, spans=spans,
+                                   graphs=graphs))
 
 
 def write_chrome_trace(trace: Trace, path: str, *,
                        time_unit: float = 1e6, counters: bool = True,
-                       spans=None) -> int:
+                       spans=None, graphs=None) -> int:
     """Write ``trace`` as Chrome Trace Event JSON; returns event count.
 
     Streams: each event is serialised and written as it is produced, so
@@ -201,7 +249,8 @@ def write_chrome_trace(trace: Trace, path: str, *,
     with open(path, "w") as fh:
         fh.write('{"traceEvents": [')
         for event in iter_chrome_events(trace, time_unit=time_unit,
-                                        counters=counters, spans=spans):
+                                        counters=counters, spans=spans,
+                                        graphs=graphs):
             if count:
                 fh.write(",\n")
             fh.write(json.dumps(event))

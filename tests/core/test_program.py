@@ -190,6 +190,45 @@ def test_teardown_handles_varied_payload_shapes(apu_system):
     assert len(released) == 4  # two handles per chunk, two chunks
 
 
+def test_teardown_releases_nested_payload_containers(apu_system):
+    """Regression: handles buried in nested dicts/lists/tuples must be
+    released by the default teardown, not leaked."""
+    released = []
+    orig_release = apu_system.release
+
+    def spy(handle):
+        released.append(handle.buffer_id)
+        orig_release(handle)
+
+    apu_system.release = spy
+
+    class NestedPayload(DoublingProgram):
+        def setup_buffers(self, ctx, child, chunk):
+            self.calls["setup"] += 1
+            _i, _off, size = chunk
+            return {"io": {"in": ctx.system.alloc(size, child, label="a")},
+                    "scratch": [(ctx.system.alloc(size, child, label="b"),
+                                 "meta"),
+                                [ctx.system.alloc(size, child, label="c")]]}
+
+        def data_down(self, ctx, child_ctx, chunk):
+            self.calls["down"] += 1
+            _i, off, size = chunk
+            ctx.system.move_down(child_ctx.payload["io"]["in"], self.input,
+                                 size, src_offset=off)
+
+        def compute_task(self, ctx):
+            self.calls["compute"] += 1
+
+        def data_up(self, ctx, child_ctx, chunk):
+            self.calls["up"] += 1
+
+    prog = NestedPayload(apu_system, n=1024, chunks=2)
+    prog.run(apu_system)
+    assert len(released) == 6  # three handles per chunk, two chunks
+    assert apu_system.registry.live_count == 2  # only input/output remain
+
+
 def test_level_queue_tracks_chunk_progress(apu_system):
     """Listing 1's work queues: n chunks -> n tasks, advanced through
     the movement states and all done at the end."""

@@ -160,3 +160,63 @@ def test_work_conservation_property(gpu_queues, cpu_threads, weight,
     aggregate = (cfg.gpu_rate_per_workgroup() * cfg.gpu_queues
                  + cfg.cpu_rate_per_thread() * cfg.cpu_threads)
     assert out.duration >= total_cells / aggregate - 1e-9
+
+
+# -- the DAG policy: stealing as a consumer of the task-graph IR -------------
+
+from repro.core.stealing import lower_chunk_graph
+from repro.plan.graph import CHAIN, COMPUTE
+
+
+def test_lowered_chunk_graph_shape():
+    cfg = config(steps_per_chunk=2)
+    g = lower_chunk_graph(cfg)
+    assert len(g) == cfg.tasks_per_chunk
+    assert g.by_kind() == {COMPUTE: cfg.tasks_per_chunk}
+    assert g.edge_count == 0            # row tasks are independent
+    assert g.meta["tasks_per_chunk"] == cfg.tasks_per_chunk
+    for node in g.nodes:
+        assert node.weight == cfg.cells_per_task
+        assert node.meta["task"].cells == cfg.cells_per_task
+
+
+def test_graph_policy_matches_direct_simulation():
+    """Draining the flat graph must reproduce the queue-based policy
+    exactly: same duration, same task split, same steal count."""
+    cfg = config()
+    direct = simulate_chunk(cfg)
+    via_graph = simulate_chunk(cfg, graph=lower_chunk_graph(cfg))
+    assert via_graph.duration == direct.duration
+    assert (via_graph.tasks_gpu, via_graph.tasks_cpu, via_graph.steals) \
+        == (direct.tasks_gpu, direct.tasks_cpu, direct.steals)
+    assert (via_graph.gpu_busy, via_graph.cpu_busy) \
+        == (direct.gpu_busy, direct.cpu_busy)
+
+
+def test_graph_policy_marks_every_node_done():
+    cfg = config(cpu_threads=2)
+    g = lower_chunk_graph(cfg)
+    simulate_chunk(cfg, graph=g)
+    assert g.complete
+
+
+def test_graph_policy_respects_dependency_edges():
+    """With a serial chain threaded through the graph, workers must
+    defer unready tasks; everything still completes exactly once."""
+    cfg = config(matrix_dim=2048, chunk_dim=512, cpu_threads=2)
+    g = lower_chunk_graph(cfg)
+    # Chain every 8th task to the next: a sparse ladder of hazards.
+    chained = g.nodes[::8]
+    for a, b in zip(chained, chained[1:]):
+        g.add_edge(a, b, CHAIN)
+    out = simulate_chunk(cfg, graph=g)
+    assert g.complete
+    assert out.tasks_gpu + out.tasks_cpu == cfg.tasks_per_chunk
+    total_cells = cfg.tasks_per_chunk * cfg.cells_per_task
+    done = (out.gpu_busy * cfg.gpu_rate_per_workgroup()
+            + out.cpu_busy * cfg.cpu_rate_per_thread())
+    assert done == pytest.approx(total_cells)
+    # The chain serialises len(chained) tasks end to end.
+    serial_floor = len(chained) * cfg.cells_per_task \
+        / cfg.gpu_rate_per_workgroup()
+    assert out.duration >= serial_floor - 1e-9

@@ -101,3 +101,28 @@ def test_spec_file_errors(tmp_path, capsys):
     invalid.write_text('{"device": "warpdrive"}')
     assert main(["--spec", str(invalid)]) == 2
     assert "invalid topology spec" in capsys.readouterr().err
+
+
+def test_describe_plan_dumps_lowered_graphs(capsys):
+    assert main(["--plan"]) == 0          # defaults to the apu topology
+    out = capsys.readouterr().out
+    assert "lowered task graphs" in out
+    for app in ("hotspot", "gemm", "reduce"):
+        assert f"\n{app}:" in out
+    assert "critical depth" in out and "edges [" in out
+    assert "setup=" in out and "compute=" in out
+
+
+def test_describe_plan_unknown_topology(capsys):
+    assert main(["--plan", "warpdrive"]) == 2
+    assert "unknown topology" in capsys.readouterr().err
+
+
+def test_repro_describe_subcommand_routes():
+    proc = subprocess.run([sys.executable, "-m", "repro", "describe",
+                           "--plan", "apu"], capture_output=True, text=True,
+                          timeout=120,
+                          env={**__import__("os").environ,
+                               "PYTHONPATH": "src"})
+    assert proc.returncode == 0
+    assert "lowered task graphs" in proc.stdout

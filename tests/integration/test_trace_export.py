@@ -146,3 +146,41 @@ def test_full_app_run_exports(tmp_path):
 
 def test_empty_trace():
     assert to_chrome_trace(Trace()) == []
+
+
+def test_task_graph_edges_become_flow_arrows():
+    """Lowered graphs passed via graphs= emit dep:* flow arrow pairs
+    whose endpoints land on the edge's actual trace intervals."""
+    from repro.apps.hotspot import HotspotApp
+    from repro.core.scheduler import InOrderScheduler
+
+    system = System(apu_two_level())
+    try:
+        app = HotspotApp(system, n=128, iterations=2, steps_per_pass=1,
+                         force_tile=64, seed=1)
+        sched = InOrderScheduler(keep_plans=True)
+        app.run(system, scheduler=sched)
+        graphs = [p.graph for p in sched.plans]
+        events = to_chrome_trace(system.timeline.trace, graphs=graphs)
+        flows = [e for e in events if e.get("cat") == "task_graph"]
+        starts = [e for e in flows if e["ph"] == "s"]
+        finishes = [e for e in flows if e["ph"] == "f"]
+        assert starts and len(starts) == len(finishes)
+        by_id = {}
+        for e in flows:
+            by_id.setdefault(e["id"], []).append(e)
+        kinds = set()
+        for pair in by_id.values():
+            assert sorted(p["ph"] for p in pair) == ["f", "s"]
+            s = next(p for p in pair if p["ph"] == "s")
+            f = next(p for p in pair if p["ph"] == "f")
+            assert s["name"] == f["name"] and s["name"].startswith("dep:")
+            kinds.add(s["name"])
+            assert s["name"] == f"dep:{s['args']['edge']}"
+            assert "#" in s["args"]["src"] and "#" in s["args"]["dst"]
+        assert "dep:chain" in kinds
+        # Without graphs= no task_graph events appear.
+        plain = to_chrome_trace(system.timeline.trace)
+        assert not [e for e in plain if e.get("cat") == "task_graph"]
+    finally:
+        system.close()

@@ -139,3 +139,34 @@ def test_queueset_export_metrics():
     q0 = next(r for r in snap["queue_steals_suffered"]
               if r["labels"]["queue"] == "q0")
     assert q0["value"] == 1 and q0["labels"]["node"] == "3"
+
+
+def test_level_queue_state_counts_exported():
+    """Satellite: LevelQueue per-state task counts surface as a pull
+    collector gauge and in the RunReport table."""
+    from repro.apps.hotspot import HotspotApp
+    from repro.core.system import System
+    from repro.obs.report import RunReport
+    from repro.topology.builders import apu_two_level
+
+    system = System(apu_two_level())
+    try:
+        app = HotspotApp(system, n=128, iterations=2, steps_per_pass=1,
+                         force_tile=64, seed=1)
+        app.run(system)
+        snap = system.metrics.snapshot()
+        rows = snap.get("level_queue_state", [])
+        assert rows, "no level_queue_state gauges exported"
+        for row in rows:
+            assert {"node", "level", "state"} <= set(row["labels"])
+        done = sum(r["value"] for r in rows
+                   if r["labels"]["state"] == "done")
+        assert done > 0
+        # Every task ended done: no other state carries a count.
+        assert all(r["value"] == 0 for r in rows
+                   if r["labels"]["state"] != "done")
+        report = RunReport.from_system(system, name="hotspot")
+        assert "level-queue task states" in report.table()
+        assert "done=" in report.table()
+    finally:
+        system.close()
