@@ -38,6 +38,10 @@ class CacheBlock:
     uses: int = 0
     pins: int = 0
     prefetched: bool = False
+    #: Owning tenant under multi-tenant serving ("" outside serve mode).
+    #: Eviction guards use it to keep one tenant from evicting another
+    #: below its cache reservation.
+    tenant: str = ""
 
     @property
     def key(self):
@@ -72,6 +76,15 @@ class NodeCache:
         self._blocks: dict[tuple, CacheBlock] = {}
         self._clock = 0
         self._seq = 0
+        #: Callable returning the tenant to tag admissions with (the
+        #: cache manager binds it to the system's ambient tenant; None
+        #: means untagged single-tenant operation).
+        self.tenant_source = None
+        #: Optional eviction filter ``guard(block) -> bool`` (True =
+        #: evictable).  Installed by the cache manager when tenant
+        #: quotas are active; blocks the guard rejects are invisible to
+        #: the eviction policy.
+        self.victim_guard = None
 
     # -- queries ---------------------------------------------------------
 
@@ -154,7 +167,9 @@ class NodeCache:
         self._seq += 1
         block = CacheBlock(spec=spec, handle=handle,
                            src_version=spec.src.version, seq=self._seq,
-                           prefetched=prefetched)
+                           prefetched=prefetched,
+                           tenant=self.tenant_source()
+                           if self.tenant_source is not None else "")
         self._blocks[spec.key] = block
         self.stats.admissions += 1
         return block
@@ -194,7 +209,12 @@ class NodeCache:
             self._drop(b)
 
     def _evict_one(self) -> bool:
-        victim = self.policy.victim(self._blocks.values(), self.policy_ctx)
+        candidates = self._blocks.values()
+        if self.victim_guard is not None:
+            candidates = [b for b in candidates if self.victim_guard(b)]
+            if not candidates:
+                return False
+        victim = self.policy.victim(candidates, self.policy_ctx)
         if victim is None:
             return False
         self.stats.evictions += 1

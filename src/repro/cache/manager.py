@@ -126,6 +126,10 @@ class CacheManager:
         #: (None, handle) for plain staging fetches (cache off / no room).
         self._leases: dict[int, tuple[NodeCache | None,
                                       CacheBlock | BufferHandle]] = {}
+        #: lease buffer_id -> owning serve scope (job id), None outside
+        #: serve mode.  Scoped end-of-run cleanup drops only the
+        #: finishing job's leases, leaving concurrent jobs' pins alone.
+        self._lease_scope: dict[int, str | None] = {}
         self._writebacks: dict[tuple, _WriteBack] = {}
         #: write-back counters for nodes without a cache of their own.
         self._wb_stats = CacheStats()
@@ -163,10 +167,38 @@ class CacheManager:
                         _n.device.spec),
                     future_distance=lambda key, _id=node.node_id:
                         self.engine.future_distance(_id, key))
-                self._caches[node.node_id] = NodeCache(
+                cache = NodeCache(
                     node, self.system.registry, make_policy(self.config.policy),
                     max_bytes, ctx)
+                cache.tenant_source = lambda: getattr(
+                    self.system, "current_tenant", "")
+                cache.victim_guard = self._make_victim_guard(cache)
+                self._caches[node.node_id] = cache
         return self._caches[node.node_id]
+
+    def _make_victim_guard(self, cache: NodeCache):
+        """Eviction filter enforcing per-tenant cache reservations.
+
+        A block owned by another tenant may only be evicted when that
+        tenant's cached bytes on this node stay at or above its
+        reservation afterwards.  Evicting one's own blocks, untagged
+        blocks, or blocks of tenants without a reservation is always
+        allowed.  Without a quota ledger the guard admits everything.
+        """
+        def guard(block: CacheBlock) -> bool:
+            quotas = getattr(self.system, "tenant_quotas", None)
+            if quotas is None or not block.tenant:
+                return True
+            requester = getattr(self.system, "current_tenant", "")
+            if block.tenant == requester:
+                return True
+            reserved = quotas.cache_reservation(block.tenant)
+            if reserved <= 0:
+                return True
+            cached = sum(b.nbytes for b in cache.blocks()
+                         if b.tenant == block.tenant)
+            return cached - block.nbytes >= reserved
+        return guard
 
     def owns(self, handle: BufferHandle) -> bool:
         """Is ``handle`` the backing buffer of a cache block?  Such
@@ -321,14 +353,19 @@ class CacheManager:
     def lease_block(self, cache: NodeCache, block: CacheBlock) -> BufferHandle:
         cache.pin(block)
         self._leases[block.handle.buffer_id] = (cache, block)
+        self._lease_scope[block.handle.buffer_id] = getattr(
+            self.system, "serve_scope", None)
         return block.handle
 
     def lease_plain(self, handle: BufferHandle) -> BufferHandle:
         self._leases[handle.buffer_id] = (None, handle)
+        self._lease_scope[handle.buffer_id] = getattr(
+            self.system, "serve_scope", None)
         return handle
 
     def release_lease(self, handle: BufferHandle) -> None:
         entry = self._leases.pop(handle.buffer_id, None)
+        self._lease_scope.pop(handle.buffer_id, None)
         if entry is None:
             raise CacheError(
                 f"fetch_release of a handle that is not a live fetch lease: "
@@ -426,15 +463,29 @@ class CacheManager:
     def end_run(self) -> None:
         """End-of-run cleanup: drop leases, settle the ledger, release
         every unpinned block, forget the prefetch plan.  Programs end
-        with the same live-buffer census they had before caching."""
+        with the same live-buffer census they had before caching.
+
+        Under multi-tenant serving (``system.serve_scope`` set) the
+        cleanup is *scoped*: only the finishing job's leases are
+        dropped, and resident blocks stay cached for the jobs still
+        running -- a job's ``finally: end_run()`` must not zero another
+        job's pins or drop its prefetch plan.
+        """
+        scope = getattr(self.system, "serve_scope", None)
         for buffer_id in list(self._leases):
+            if scope is not None and \
+                    self._lease_scope.get(buffer_id) != scope:
+                continue
             cache, obj = self._leases.pop(buffer_id)
+            self._lease_scope.pop(buffer_id, None)
             if cache is None:
                 if not obj.released:
                     self.system.release(obj)
             else:
                 obj.pins = 0
         self.flush_all()
+        if scope is not None:
+            return
         for cache in self._caches.values():
             if cache is not None:
                 cache.drop_all()

@@ -157,6 +157,16 @@ class System:
         self.registry = BufferRegistry()
         self.runtime_ops = 0
         self.wall = WallStats()
+        #: Multi-tenant serving ambiance, duck-typed so the core never
+        #: imports :mod:`repro.serve`.  ``tenant_quotas`` is a ledger
+        #: with ``check``/``on_alloc``/``on_release``/
+        #: ``cache_reservation``; ``current_tenant`` tags allocations
+        #: and cache admissions with the job being executed;
+        #: ``serve_scope`` limits :meth:`CacheManager.end_run` teardown
+        #: to one job's leases.  All three are inert at their defaults.
+        self.tenant_quotas = None
+        self.current_tenant = ""
+        self.serve_scope = None
         #: Causal span tracker (:mod:`repro.obs.spans`).  Spans are pure
         #: metadata over the trace -- virtual results are bit-identical
         #: with observability on or off.  ``observe=False`` installs the
@@ -256,6 +266,8 @@ class System:
         always win over cached copies.
         """
         n = self._node(node)
+        if self.tenant_quotas is not None:
+            self.tenant_quotas.check(self.current_tenant, nbytes)
         try:
             alloc_id = n.device.allocate(nbytes)
         except CapacityError:
@@ -264,6 +276,8 @@ class System:
             alloc_id = n.device.allocate(nbytes)
         handle = self.registry.register(node_id=n.node_id, nbytes=nbytes,
                                         alloc_id=alloc_id, label=label)
+        if self.tenant_quotas is not None:
+            self.tenant_quotas.on_alloc(self.current_tenant, handle)
         done = self.timeline.charge("host", SETUP_COST[n.device.kind],
                                     Phase.SETUP, label=label or f"alloc@{n.node_id}")
         handle.note_write(done.end)  # zero-initialised content is valid
@@ -287,6 +301,8 @@ class System:
                 f"buffer #{handle.buffer_id} backs a cache block; release "
                 f"fetch leases with fetch_release instead")
         self.cache.on_release(handle)
+        if self.tenant_quotas is not None:
+            self.tenant_quotas.on_release(handle)
         node = self.node_of(handle)
         self.registry.unregister(handle)
         if not handle.is_mapped:

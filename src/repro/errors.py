@@ -68,6 +68,30 @@ class KernelError(NorthupError):
     mismatch, wrong dtype, non-finite coefficients, ...)."""
 
 
+class QuotaError(NorthupError):
+    """A tenant exceeded its allocation quota under multi-tenant serving.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose quota was breached.
+    requested:
+        Bytes the allocation asked for.
+    limit:
+        The tenant's configured allocation cap.
+    used:
+        Bytes the tenant already had live when the request arrived.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", requested: int = 0,
+                 limit: int = 0, used: int = 0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.requested = requested
+        self.limit = limit
+        self.used = used
+
+
 class SimulationError(NorthupError):
     """The discrete-event engine was driven incorrectly (time moving
     backwards, event scheduled in the past, engine reused after close)."""

@@ -145,6 +145,18 @@ class MetricsRegistry:
             fam.series[key] = hist
         hist.observe(value)
 
+    def with_labels(self, **labels: str) -> "LabelledMetrics":
+        """A push view that stamps ``labels`` onto every sample.
+
+        The serve layer hands each job a view bound to its tenant/job
+        ids, so instrumentation sites record plain metric names and
+        every series still lands fully labelled::
+
+            m = registry.with_labels(tenant="acme", job="j17")
+            m.histogram("serve_queue_wait_s", wait)
+        """
+        return LabelledMetrics(self, labels)
+
     # -- pulling ---------------------------------------------------------
 
     def register_collector(
@@ -215,3 +227,40 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._families)
+
+
+class LabelledMetrics:
+    """Bound push view of a :class:`MetricsRegistry` (see
+    :meth:`MetricsRegistry.with_labels`).  Per-call labels are merged on
+    top of the bound ones (per-call wins on key collision)."""
+
+    __slots__ = ("_registry", "_labels")
+
+    def __init__(self, registry: MetricsRegistry,
+                 labels: dict[str, str]) -> None:
+        self._registry = registry
+        self._labels = {k: str(v) for k, v in labels.items()}
+
+    def _merge(self, labels: dict[str, str] | None) -> dict[str, str]:
+        if not labels:
+            return self._labels
+        return {**self._labels, **labels}
+
+    def counter(self, name: str, inc: float = 1,
+                labels: dict[str, str] | None = None,
+                help_text: str = "") -> None:
+        self._registry.counter(name, inc, labels=self._merge(labels),
+                               help_text=help_text)
+
+    def gauge(self, name: str, value: float,
+              labels: dict[str, str] | None = None,
+              help_text: str = "") -> None:
+        self._registry.gauge(name, value, labels=self._merge(labels),
+                             help_text=help_text)
+
+    def histogram(self, name: str, value: float,
+                  labels: dict[str, str] | None = None,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  help_text: str = "") -> None:
+        self._registry.histogram(name, value, labels=self._merge(labels),
+                                 buckets=buckets, help_text=help_text)

@@ -28,6 +28,8 @@ CLI
 
 Exit status 1 on any regression (0 with ``--warn-only``, the CI mode:
 shared runners are too noisy for a hard wall-clock gate at CI scale).
+A baseline file that does not exist yet is a warning and exit 0: a new
+bench must be able to land in the same change as its first baseline.
 """
 
 from __future__ import annotations
@@ -180,15 +182,28 @@ def main(argv: list[str] | None = None) -> int:
                              "noisy shared runners)")
     args = parser.parse_args(argv)
 
-    docs = []
-    for path in (args.baseline, args.fresh):
-        try:
-            with open(path) as fh:
-                docs.append(json.load(fh))
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"cannot read {path!r}: {exc}", file=sys.stderr)
-            return 2
-    findings = compare(docs[0], docs[1], rtol=args.rtol)
+    # A bench whose baseline has never been committed is not a
+    # regression -- it is the run that *creates* the first baseline
+    # (new benches must be able to land in the same PR as their first
+    # numbers).  A missing or unreadable *fresh* file is still a hard
+    # error: the bench that was supposed to produce it failed.
+    try:
+        with open(args.baseline) as fh:
+            baseline_doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"[   warning] no committed baseline {args.baseline!r}; "
+              f"treating {args.fresh!r} as the first run of this bench")
+        return 0
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.fresh) as fh:
+            fresh_doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.fresh!r}: {exc}", file=sys.stderr)
+        return 2
+    findings = compare(baseline_doc, fresh_doc, rtol=args.rtol)
 
     regressions = [f for f in findings if f.is_regression]
     improvements = [f for f in findings if f.kind == "improvement"]

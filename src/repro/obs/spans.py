@@ -166,6 +166,22 @@ class Observer:
         if sid:
             self.spans[sid].count(key, n)
 
+    # -- context switching -------------------------------------------------
+
+    def switch_context(self, stack: list[int] | None) -> list[int]:
+        """Install ``stack`` as the active span stack; returns the one
+        that was active.
+
+        ``None`` installs a fresh root stack.  The serve layer keeps one
+        stack per job and swaps on every dispatch grant, so interleaved
+        jobs each keep a coherent span tree over the shared trace (span
+        ids stay globally unique; only the *open* chain is per-job).
+        """
+        old = self._stack
+        self._stack = stack if stack is not None else [0]
+        self.trace.active_span = self._stack[-1]
+        return old
+
     # -- lifecycle ---------------------------------------------------------
 
     def reset(self) -> None:
@@ -202,6 +218,9 @@ class NullObserver:
 
     def count(self, key: str, n: int = 1) -> None:
         pass
+
+    def switch_context(self, stack: list | None) -> list:
+        return [0]
 
     def reset(self) -> None:
         pass

@@ -1,0 +1,46 @@
+"""repro.serve: a multi-tenant job service over the task-graph IR.
+
+Many jobs -- each an ordinary :mod:`repro.apps` program -- share one
+device tree under one virtual clock.  The service admits jobs through
+bounded, per-tenant admission control, lowers each to its
+:mod:`repro.plan` task graph via a cooperative per-job scheduler, and
+interleaves ready nodes from all live jobs one grant at a time under a
+pluggable policy (FIFO, weighted fair share, priority preemption).
+Tenant quotas bound allocations and protect cache reservations; spans
+and metrics are tagged per job and tenant.
+
+The load-bearing invariant: the service only ever reorders nodes
+*across* jobs, never within one, so every served job's results are
+bit-identical to a solo in-order run of the same spec.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.arrivals import Arrival, poisson_arrivals
+from repro.serve.gate import CooperativeScheduler, JobGate
+from repro.serve.job import Job, JobSpec, JobState, known_apps
+from repro.serve.policy import (FairSharePolicy, FifoPolicy, PriorityPolicy,
+                                SchedulingPolicy, make_policy)
+from repro.serve.quota import QuotaLedger, TenantQuota
+from repro.serve.service import JobResult, JobService, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "CooperativeScheduler",
+    "FairSharePolicy",
+    "FifoPolicy",
+    "Job",
+    "JobGate",
+    "JobResult",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "PriorityPolicy",
+    "QuotaLedger",
+    "SchedulingPolicy",
+    "ServeConfig",
+    "TenantQuota",
+    "known_apps",
+    "make_policy",
+    "poisson_arrivals",
+]

@@ -268,6 +268,10 @@ class Timeline:
     trace: Trace = field(default_factory=Trace)
     _resources: dict[str, Resource] = field(default_factory=dict)
     slot_cls: type = _Slot
+    #: Earliest instant any operation may start.  0.0 (the default) is
+    #: a no-op; the serve layer raises it to a job's admission time so
+    #: backfill cannot place a job's operations before the job existed.
+    floor: float = 0.0
 
     def resource(self, name: str, slots: int | None = None) -> Resource:
         """Fetch (creating on first use) the resource called ``name``.
@@ -304,6 +308,8 @@ class Timeline:
         thread dependency times through a pipeline.
         """
         res = resource if isinstance(resource, Resource) else self.resource(resource)
+        if self.floor > ready:
+            ready = self.floor
         start = res.reserve(ready, duration)
         end = start + duration
         self.trace.record_raw(start, end, phase, res.name, label, nbytes)
@@ -327,10 +333,13 @@ class Timeline:
         reserve = res.reserve
         record = self.trace.record_raw
         name = res.name
+        floor = self.floor
         out = []
         for op in ops:
             k = len(op)
             duration, ready = op[0], op[1]
+            if floor > ready:
+                ready = floor
             op_label = op[2] if k > 2 else label
             op_nbytes = op[3] if k > 3 else nbytes
             start = reserve(ready, duration)
@@ -390,6 +399,8 @@ class Timeline:
             raise SimulationError(
                 f"negative duration {duration} on path "
                 f"[{', '.join(r.name for r in resolved)}]")
+        if self.floor > ready:
+            ready = self.floor
         start = self._negotiate(resolved, duration, ready)
         for res in resolved:
             res.occupy_at(start, duration)
@@ -418,10 +429,13 @@ class Timeline:
         resolved = self._resolve_path(resources)
         joined = "+".join(r.name for r in resolved)
         record = self.trace.record_raw
+        floor = self.floor
         out = []
         for op in ops:
             k = len(op)
             duration, ready = op[0], op[1]
+            if floor > ready:
+                ready = floor
             if duration < 0:
                 raise SimulationError(
                     f"negative duration {duration} on path [{joined}]")
@@ -441,5 +455,6 @@ class Timeline:
     def reset(self) -> None:
         """Clear the trace and free every resource (between experiments)."""
         self.trace.clear()
+        self.floor = 0.0
         for res in self._resources.values():
             res.reset()

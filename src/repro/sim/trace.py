@@ -250,6 +250,16 @@ class Trace:
         """Causal-span id of the ``index``-th recorded interval."""
         return self._span_ids[index]
 
+    def window_rows(self, lo: int, hi: int) -> Iterator[
+            tuple[float, float, Phase, str, str, int, int]]:
+        """:meth:`span_rows` restricted to interval indexes ``[lo, hi)``
+        (how the serve layer extracts one job's intervals from the
+        shared trace)."""
+        return zip(self._starts[lo:hi], self._ends[lo:hi],
+                   self._phases[lo:hi], self._resources[lo:hi],
+                   self._labels[lo:hi], self._nbytes[lo:hi],
+                   self._span_ids[lo:hi])
+
     # -- aggregation ----------------------------------------------------
 
     def busy_time(self, phase: Phase | None = None,
@@ -296,6 +306,22 @@ class Trace:
     def makespan(self) -> float:
         """End of the last interval (0.0 for an empty trace)."""
         return self._max_end
+
+    def window_max_end(self, lo: int, hi: int) -> float:
+        """Latest end among intervals ``[lo, hi)`` (0.0 when empty).
+
+        The serve layer records which index windows of the shared trace
+        each job's grants appended, so a job's completion time is the
+        max end over its own windows -- not the global makespan, which
+        other jobs keep extending.
+        """
+        ends = self._ends[lo:hi]
+        return max(ends) if ends else 0.0
+
+    def window_busy(self, lo: int, hi: int) -> float:
+        """Total busy seconds of intervals ``[lo, hi)``."""
+        return sum(e - s for s, e in zip(self._starts[lo:hi],
+                                         self._ends[lo:hi]))
 
     # -- composition ----------------------------------------------------
 

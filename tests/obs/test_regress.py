@@ -173,3 +173,20 @@ def test_cli_against_committed_baselines(capsys):
     """The committed bench artifacts gate cleanly against themselves."""
     for name in ("BENCH_wallclock.json", "BENCH_dataplane.json"):
         assert main([name, name]) == 0
+
+
+def test_cli_missing_baseline_warns_and_exits_zero(tmp_path, capsys):
+    """A bench run on a branch that predates the baseline must not fail
+    the gate: no committed baseline is a warning, not a regression."""
+    fresh = _write(tmp_path, "fresh.json", BASELINE)
+    assert main([str(tmp_path / "no_baseline.json"), fresh]) == 0
+    out = capsys.readouterr().out
+    assert "warning" in out
+    assert "no committed baseline" in out
+
+
+def test_cli_missing_fresh_still_exits_two(tmp_path, capsys):
+    """Only the *baseline* side is optional; a missing fresh result is
+    a broken bench run and keeps the hard error."""
+    base = _write(tmp_path, "base.json", BASELINE)
+    assert main([base, str(tmp_path / "no_fresh.json")]) == 2

@@ -1,0 +1,63 @@
+"""Admission control: bounded queue, per-tenant limits, FIFO skipping."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import AdmissionController
+from repro.serve.job import Job, JobSpec, JobState
+
+
+def make_job(seq, tenant="t"):
+    return Job(spec=JobSpec("sort", tenant=tenant, params={"n": 10}),
+               job_id=f"j{seq}", seq=seq, submit_vt=0.0)
+
+
+def test_limits_validated():
+    with pytest.raises(ConfigError):
+        AdmissionController(max_pending=0)
+    with pytest.raises(ConfigError):
+        AdmissionController(max_live_per_tenant=0)
+
+
+def test_bounded_queue_rejects_overflow():
+    ac = AdmissionController(max_pending=2)
+    assert ac.submit(make_job(1))
+    assert ac.submit(make_job(2))
+    j3 = make_job(3)
+    assert not ac.submit(j3)
+    assert j3.state is JobState.REJECTED
+    assert ac.rejected == 1
+    assert len(ac.pending) == 2
+
+
+def test_admits_fifo_within_tenant_limit():
+    ac = AdmissionController(max_live_per_tenant=2)
+    for seq in range(1, 5):
+        ac.submit(make_job(seq))
+    admitted = ac.admit_ready(live=[])
+    assert [j.seq for j in admitted] == [1, 2]
+    assert [j.seq for j in ac.pending] == [3, 4]
+    # One call never over-admits even with an empty live list.
+    assert ac.admit_ready(live=admitted) == []
+
+
+def test_saturated_tenant_does_not_block_others():
+    ac = AdmissionController(max_live_per_tenant=1)
+    ac.submit(make_job(1, "a"))
+    ac.submit(make_job(2, "a"))
+    ac.submit(make_job(3, "b"))
+    admitted = ac.admit_ready(live=[])
+    # a's second job is skipped over; b's head-of-queue job gets in.
+    assert [(j.seq, j.tenant) for j in admitted] == [(1, "a"), (3, "b")]
+    assert [j.seq for j in ac.pending] == [2]
+
+
+def test_admission_resumes_as_tenant_drains():
+    ac = AdmissionController(max_live_per_tenant=1)
+    ac.submit(make_job(1, "a"))
+    ac.submit(make_job(2, "a"))
+    first = ac.admit_ready(live=[])
+    assert [j.seq for j in first] == [1]
+    assert ac.admit_ready(live=first) == []
+    second = ac.admit_ready(live=[])  # job 1 finished
+    assert [j.seq for j in second] == [2]
