@@ -16,6 +16,11 @@ scheduler:
   sizes (more chunks, more framework ops per run), fanned across a
   process pool by :mod:`repro.bench.parallel` and merged
   deterministically.
+* **compute backends** -- the :mod:`repro.exec.bench` sweep: one
+  large-staging GEMM per ``(backend, workers)`` point, asserting
+  byte-identical results and bit-identical makespans across inline /
+  threaded / shared-memory pools before reporting wall-clock speedups.
+  ``REPRO_WALLCLOCK_SCALE=ci`` shrinks this sweep for shared runners.
 
 Virtual results must not move: the bench asserts bit-identical makespans
 between the naive and indexed schedulers for every compared case, then
@@ -35,6 +40,7 @@ from time import perf_counter
 
 from repro.apps import GemmApp, HotspotApp, SpmvApp
 from repro.bench import configs
+from repro.exec import bench as exec_bench
 from repro.bench.parallel import default_workers, run_parallel
 from repro.core.system import BatchMove, System
 from repro.memory.units import KB, MB
@@ -155,6 +161,13 @@ def run_bench(workers: int | None = None) -> dict:
             f"indexed scheduler changed {app}'s virtual makespan: "
             f"{a['makespan_s']} != {b['makespan_s']}")
 
+    # The compute-backend sweep runs sequentially after the app fan-out
+    # (its wall-clock points need the machine to themselves).  It
+    # asserts its own invariants: byte-identical results, bit-identical
+    # makespans, no shm residue, and the >= 2x shm-over-inline floor on
+    # 4+ core hosts.
+    backends = exec_bench.run_sweep(exec_bench.pick_scale())
+
     result = {
         "framework_ops_scaling": {
             "moves": N_MOVES,
@@ -167,6 +180,7 @@ def run_bench(workers: int | None = None) -> dict:
             "virtual_time_identical": True,
         },
         "apps": rows,
+        "compute_backends": backends,
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -187,6 +201,9 @@ def test_wallclock_scaling():
     assert fw["speedup"] >= TARGET_SPEEDUP, (
         f"indexed scheduler only {fw['speedup']}x over the naive baseline "
         f"on the {fw['intervals']}-interval scaling case")
+    cb = result["compute_backends"]
+    assert cb["results_identical"] and cb["virtual_time_identical"]
+    assert cb["shm_residue_clean"]
 
 
 if __name__ == "__main__":
@@ -199,4 +216,5 @@ if __name__ == "__main__":
         print(f"{row['app']:>8} staging={row['staging_mb']}MB "
               f"[{row['scheduler']}]: {row['wall_s']}s wall, "
               f"makespan {row['makespan_s']:.6f}s")
+    print(exec_bench.format_table(out["compute_backends"]))
     print(f"wrote {RESULT_PATH}")

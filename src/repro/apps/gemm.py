@@ -34,7 +34,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.cache.spec import FetchSpec
-from repro.compute.kernels.gemm import gemm_cost
+from repro.compute.kernels.gemm import gemm_block, gemm_cost
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
 from repro.core.context import ExecutionContext
@@ -42,6 +42,7 @@ from repro.core.decomposition import ceil_div, window2d
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import CapacityError, ConfigError
+from repro.exec import Binding, kernel_spec
 from repro.topology.node import TreeNode
 from repro.workloads.matrices import load_array, random_dense
 
@@ -358,23 +359,19 @@ class GemmApp(NorthupProgram):
         sys_ = ctx.system
         gpu = ctx.get_device(ProcessorKind.GPU)
 
-        def kernel():
-            # Views where the backend allows them (leaf buffers are
-            # in-memory): the kernel reads operands in place and
-            # accumulates straight into C, like a GPU kernel on device
-            # memory.  Falls back to fetch/preload round-trip copies on
-            # view-less backends.
-            a, _ = sys_.host_array(lv.a, np.float32, shape=(lv.m, lv.k))
-            b, _ = sys_.host_array(lv.b, np.float32, shape=(lv.k, lv.n))
-            c, c_in_place = sys_.host_array(lv.c, np.float32,
-                                            shape=(lv.m, lv.n), writable=True)
-            c += a @ b
-            if not c_in_place:
-                sys_.preload(lv.c, c)
-
+        # The kernel is a picklable spec over buffer bindings, so any
+        # compute backend (inline, threaded, shm pool) can run it; C is
+        # an ``update`` binding because the block accumulates into it.
+        label = f"gemm {lv.m}x{lv.k}x{lv.n}"
         sys_.launch(gpu, gemm_cost(lv.m, lv.k, lv.n),
-                    reads=(lv.a, lv.b), writes=(lv.c,), fn=kernel,
-                    label=f"gemm {lv.m}x{lv.k}x{lv.n}")
+                    reads=(lv.a, lv.b), writes=(lv.c,),
+                    kernel=kernel_spec(
+                        gemm_block,
+                        Binding.read("a", lv.a, np.float32, (lv.m, lv.k)),
+                        Binding.read("b", lv.b, np.float32, (lv.k, lv.n)),
+                        Binding.update("c", lv.c, np.float32, (lv.m, lv.n)),
+                        label=label),
+                    label=label)
 
     def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
                 chunk: GemmChunk) -> None:

@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.cache.spec import FetchSpec
 from repro.compute.kernels.hotspot import (ChipEdges, HotspotParams,
-                                           default_params, hotspot_cost,
-                                           hotspot_multistep, pad_grid)
+                                           default_params, hotspot_block,
+                                           hotspot_cost, pad_grid)
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
 from repro.core.context import ExecutionContext, root_context
@@ -33,6 +33,7 @@ from repro.core.decomposition import Grid2D, window2d
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import CapacityError, ConfigError
+from repro.exec import Binding, kernel_spec
 from repro.topology.node import TreeNode
 from repro.workloads.thermal import initial_temperature, power_grid
 
@@ -318,22 +319,22 @@ class HotspotApp(NorthupProgram):
         prow = lv.rows + 2 * lv.halo
         pcol = lv.cols + 2 * lv.halo
 
-        def kernel():
-            # In-place views over the staged tiles (fetch/preload copies
-            # only on view-less backends).
-            t, _ = sys_.host_array(lv.t_pad, np.float32, shape=(prow, pcol))
-            p, _ = sys_.host_array(lv.p_pad, np.float32, shape=(prow, pcol))
-            out = hotspot_multistep(t, p, self.params, lv.halo, lv.edges)
-            dst = sys_.view_array(lv.out, np.float32, shape=out.shape,
-                                  writable=True)
-            if dst is None:
-                sys_.preload(lv.out, np.ascontiguousarray(out))
-            else:
-                np.copyto(dst, out)
-
+        # Picklable block kernel: padded tiles in, valid interior out;
+        # params/edges are host metadata riding along as kwargs.
+        label = f"hotspot {lv.rows}x{lv.cols}x{lv.halo}"
         sys_.launch(gpu, hotspot_cost(prow, pcol, steps=lv.halo),
-                    reads=(lv.t_pad, lv.p_pad), writes=(lv.out,), fn=kernel,
-                    label=f"hotspot {lv.rows}x{lv.cols}x{lv.halo}")
+                    reads=(lv.t_pad, lv.p_pad), writes=(lv.out,),
+                    kernel=kernel_spec(
+                        hotspot_block,
+                        Binding.read("t_pad", lv.t_pad, np.float32,
+                                     (prow, pcol)),
+                        Binding.read("p_pad", lv.p_pad, np.float32,
+                                     (prow, pcol)),
+                        Binding.update("out", lv.out, np.float32,
+                                       (lv.rows, lv.cols)),
+                        params=self.params, halo=lv.halo, edges=lv.edges,
+                        label=label),
+                    label=label)
 
     def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
                 chunk) -> None:

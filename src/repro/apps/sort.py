@@ -32,6 +32,7 @@ from repro.core.decomposition import Range1D, fit_row_chunks
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import ConfigError
+from repro.exec import Binding, kernel_spec
 from repro.topology.node import TreeNode
 
 CAPACITY_SAFETY = 0.9
@@ -44,6 +45,12 @@ def sort_cost(n: int) -> KernelCost:
     return KernelCost(flops=2.0 * comparisons, bytes_read=4.0 * n,
                       bytes_written=4.0 * n, efficiency=0.10,
                       bw_efficiency=0.5)
+
+
+def sort_block(vals: np.ndarray) -> None:
+    """Executor entry point (module-level, picklable): sort one run in
+    place -- ``vals`` is an inout binding over the run's bytes."""
+    vals.sort()
 
 
 def merge_cost(n: int, fan_in: int) -> KernelCost:
@@ -125,20 +132,16 @@ class SortApp(NorthupProgram):
         sys_ = ctx.system
         proc = ctx.get_device()
 
-        def kernel():
-            # Sort the run in place through a zero-copy view; the
-            # fetch/sort/preload round trip remains for view-less
-            # backends.
-            vals = sys_.view_array(lv.data, np.float32, count=lv.n * ELEM,
-                                   writable=True)
-            if vals is None:
-                sys_.preload(lv.data, np.sort(
-                    sys_.fetch(lv.data, np.float32, count=lv.n * ELEM)))
-            else:
-                vals.sort()
-
+        # In-place sort over one inout binding; any compute backend can
+        # run it (the run both reads and writes lv.data).
         sys_.launch(proc, sort_cost(lv.n), reads=(lv.data,),
-                    writes=(lv.data,), fn=kernel, label=f"sort {lv.n}")
+                    writes=(lv.data,),
+                    kernel=kernel_spec(
+                        sort_block,
+                        Binding.update("vals", lv.data, np.float32,
+                                       count=lv.n * ELEM),
+                        label=f"sort {lv.n}"),
+                    label=f"sort {lv.n}")
 
     def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
                 chunk: Range1D) -> None:

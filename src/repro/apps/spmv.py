@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.cache.spec import FetchSpec
 from repro.compute.kernels.spmv import (CSRMatrix, bin_rows, binning_cost,
-                                        spmv_adaptive, spmv_cost)
+                                        spmv_block, spmv_cost)
 from repro.compute.processor import ProcessorKind
 from repro.core.buffers import BufferHandle
 from repro.core.context import ExecutionContext, root_context
@@ -32,6 +32,7 @@ from repro.core.decomposition import Range1D, split_rows_by_nnz
 from repro.core.program import NorthupProgram
 from repro.core.system import System
 from repro.errors import CapacityError, ConfigError
+from repro.exec import Binding, kernel_spec
 from repro.topology.node import TreeNode
 
 CAPACITY_SAFETY = 0.9
@@ -263,21 +264,25 @@ class SpmvApp(NorthupProgram):
         sys_.launch(cpu, binning_cost(lv.nrows), reads=bin_reads,
                     label=f"bin {lv.nrows} rows")
 
-        def kernel():
-            csr = CSRMatrix(
-                row_ptr=lv.row_ptr_np,
-                col_id=sys_.fetch(lv.col_id, np.int32, count=lv.nnz * 4),
-                data=sys_.fetch(lv.data, np.float32, count=lv.nnz * 4),
-                ncols=self.csr.ncols)
-            x = sys_.fetch(lv.x, np.float32, count=self.x_np.nbytes)
-            y = spmv_adaptive(csr, x, blocks)
-            if lv.nrows:
-                sys_.preload(lv.y, y.astype(np.float32))
-
+        # Picklable shard kernel: device buffers bind as arrays, the
+        # shard's row_ptr and bins travel as host-metadata kwargs (the
+        # same split the old closure had).
+        label = f"spmv {lv.nrows}r/{lv.nnz}nnz"
         sys_.launch(gpu, spmv_cost(lv.nnz, lv.nrows, blocks=blocks),
                     reads=(lv.col_id, lv.data, lv.x, lv.row_ptr),
-                    writes=(lv.y,), fn=kernel,
-                    label=f"spmv {lv.nrows}r/{lv.nnz}nnz")
+                    writes=(lv.y,),
+                    kernel=kernel_spec(
+                        spmv_block,
+                        Binding.read("col_id", lv.col_id, np.int32,
+                                     (lv.nnz,)),
+                        Binding.read("data", lv.data, np.float32,
+                                     (lv.nnz,)),
+                        Binding.read("x", lv.x, np.float32,
+                                     (self.csr.ncols,)),
+                        Binding.update("y", lv.y, np.float32, (lv.nrows,)),
+                        row_ptr=lv.row_ptr_np, ncols=self.csr.ncols,
+                        blocks=blocks, label=label),
+                    label=label)
 
     def data_up(self, ctx: ExecutionContext, child_ctx: ExecutionContext,
                 shard: Range1D) -> None:

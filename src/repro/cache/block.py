@@ -85,6 +85,12 @@ class NodeCache:
         #: quotas are active; blocks the guard rejects are invisible to
         #: the eviction policy.
         self.victim_guard = None
+        #: Optional ``release_hook(node, handle)`` called instead of
+        #: ``device.release`` when a block's storage is dropped.  The
+        #: cache manager binds it to the system so a release can be
+        #: ordered behind pending compute-backend work (a deferred copy
+        #: still reading the block's bytes).
+        self.release_hook = None
 
     # -- queries ---------------------------------------------------------
 
@@ -229,5 +235,8 @@ class NodeCache:
             raise CacheError(
                 f"refusing to drop pinned cache block {block.spec.key}")
         self.registry.unregister(block.handle)
-        self.node.device.release(block.handle.alloc_id)
+        if self.release_hook is not None:
+            self.release_hook(self.node, block.handle)
+        else:
+            self.node.device.release(block.handle.alloc_id)
         del self._blocks[block.key]

@@ -173,6 +173,8 @@ class CacheManager:
                 cache.tenant_source = lambda: getattr(
                     self.system, "current_tenant", "")
                 cache.victim_guard = self._make_victim_guard(cache)
+                cache.release_hook = getattr(
+                    self.system, "release_cache_block", None)
                 self._caches[node.node_id] = cache
         return self._caches[node.node_id]
 

@@ -106,3 +106,13 @@ def gemm_cost(m: int, k: int, n: int, *, dtype_size: int = 4,
     return KernelCost(flops=flops, bytes_read=bytes_read,
                       bytes_written=bytes_written, efficiency=efficiency,
                       bw_efficiency=0.9)
+
+
+def gemm_block(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Executor entry point (module-level, picklable): ``c += a @ b``.
+
+    The accumulate makes C an *inout* operand -- asynchronous backends
+    must snapshot its prior contents, which :class:`repro.exec.base.Binding`'s
+    ``update`` marking guarantees.
+    """
+    c += a @ b

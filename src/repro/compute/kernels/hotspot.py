@@ -307,3 +307,12 @@ def hotspot_cost(rows: int, cols: int, *, dtype_size: int = 4,
                       bytes_written=1.0 * cells * dtype_size * steps,
                       efficiency=0.55,
                       bw_efficiency=0.12)
+
+
+def hotspot_block(t_pad: np.ndarray, p_pad: np.ndarray, out: np.ndarray, *,
+                  params: HotspotParams, halo: int,
+                  edges: ChipEdges) -> None:
+    """Executor entry point (module-level, picklable): run ``halo``
+    ghost-zone steps on a padded block, writing the valid interior into
+    ``out``.  ``params`` and ``edges`` ride along as picklable kwargs."""
+    np.copyto(out, hotspot_multistep(t_pad, p_pad, params, halo, edges))

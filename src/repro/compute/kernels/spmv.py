@@ -251,3 +251,18 @@ def spmv_cost(nnz: int, nrows: int, *, dtype_size: int = 4,
                       bytes_written=float(bytes_written),
                       efficiency=0.35,
                       bw_efficiency=max(0.04, 0.08 - 0.04 * vector_frac))
+
+
+def spmv_block(col_id: np.ndarray, data: np.ndarray, x: np.ndarray,
+               y: np.ndarray, *, row_ptr: np.ndarray, ncols: int,
+               blocks: list[RowBlock]) -> None:
+    """Executor entry point (module-level, picklable): CSR-Adaptive
+    SpMV of one row shard into ``y``.
+
+    ``row_ptr`` and the CPU pass's row bins travel as kwargs (host-side
+    metadata, not device buffers), mirroring how the launch's closure
+    used them.  ``y`` may be empty (a zero-row shard) -- the copy is
+    then a no-op, like the guarded ``preload`` it replaces.
+    """
+    csr = CSRMatrix(row_ptr=row_ptr, col_id=col_id, data=data, ncols=ncols)
+    np.copyto(y, spmv_adaptive(csr, x, blocks).astype(np.float32))

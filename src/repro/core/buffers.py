@@ -27,6 +27,7 @@ and cost nothing to create or release beyond runtime bookkeeping.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +54,10 @@ class ArrayPool:
     the caller: the next ``take`` of that size may hand out the same
     storage.  (This is the same contract a ``free``/``malloc`` pair has;
     the backends honour it by only retiring buffers on ``destroy``.)
+
+    Take/give are thread-safe: compute backends (threaded executors,
+    the serve layer's concurrent jobs) recycle staging arrays from
+    worker threads, so bucket mutation happens under a lock.
     """
 
     def __init__(self, max_bytes: int = 64 * 1024 * 1024,
@@ -60,6 +65,7 @@ class ArrayPool:
         self.max_bytes = max_bytes
         self.max_per_size = max_per_size
         self._free: dict[int, list[np.ndarray]] = {}
+        self._lock = threading.Lock()
         self._held_bytes = 0
         self.reuses = 0
         self.fresh = 0
@@ -74,33 +80,38 @@ class ArrayPool:
     def take(self, nbytes: int, *, zero: bool = True) -> np.ndarray:
         """A 1-D uint8 array of exactly ``nbytes`` (zero-filled unless
         ``zero=False``, for scratch space that is fully overwritten)."""
-        bucket = self._free.get(nbytes)
-        if bucket:
-            arr = bucket.pop()
-            self._held_bytes -= nbytes
-            self.reuses += 1
+        with self._lock:
+            bucket = self._free.get(nbytes)
+            arr = bucket.pop() if bucket else None
+            if arr is not None:
+                self._held_bytes -= nbytes
+                self.reuses += 1
+            else:
+                self.fresh += 1
+        if arr is not None:
             if zero:
                 arr.fill(0)
             return arr
-        self.fresh += 1
         return (np.zeros if zero else np.empty)(nbytes, dtype=np.uint8)
 
     def give(self, arr: np.ndarray) -> None:
         """Retire ``arr`` into the pool (dropped when over budget)."""
         nbytes = arr.size
-        bucket = self._free.setdefault(nbytes, [])
-        if (nbytes == 0 or len(bucket) >= self.max_per_size
-                or self._held_bytes + nbytes > self.max_bytes):
-            self.dropped += 1
-            return
-        bucket.append(arr)
-        self._held_bytes += nbytes
-        self.retired += 1
+        with self._lock:
+            bucket = self._free.setdefault(nbytes, [])
+            if (nbytes == 0 or len(bucket) >= self.max_per_size
+                    or self._held_bytes + nbytes > self.max_bytes):
+                self.dropped += 1
+                return
+            bucket.append(arr)
+            self._held_bytes += nbytes
+            self.retired += 1
 
     def clear(self) -> None:
         """Drop every retained array (backend teardown)."""
-        self._free.clear()
-        self._held_bytes = 0
+        with self._lock:
+            self._free.clear()
+            self._held_bytes = 0
 
 
 @dataclass

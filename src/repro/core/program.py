@@ -164,6 +164,7 @@ class NorthupProgram(ABC):
         obs = ctx.system.obs
         if ctx.is_leaf:
             leaf_span = obs.open("compute", node_id=ctx.node.node_id)
+            leaf_span.annotate("backend", ctx.system.executor.name)
             try:
                 self.compute_task(ctx)
             finally:
@@ -193,7 +194,9 @@ class NorthupProgram(ABC):
             self.after_run(ctx)
         finally:
             # end_run's write-back flush intervals still attribute to
-            # the root span, so the span is closed after cache cleanup.
-            system.cache.end_run()
+            # the root span, so the span is closed after cleanup; it
+            # also settles pending executor work (deferred copies and
+            # async kernel merges) before cache teardown.
+            system.end_run()
             system.obs.close(root_span)
         return ctx

@@ -197,6 +197,13 @@ class Scheduler:
         try:
             self._drain(plan)
             plan.finish()
+            # Level boundary: pending compute-backend work for the
+            # level's chunks (async kernel merges, deferred copies)
+            # settles here, so a parent level starts from materialised
+            # bytes and the pending ledger stays bounded.  This is a
+            # wall-clock sync point only -- virtual time was already
+            # charged at dispatch.
+            ctx.system.drain_exec()
         finally:
             plan.close()
 
@@ -331,6 +338,7 @@ class EagerScheduler(Scheduler):
             tasks = [queue.enqueue(chunk) for chunk in chunks]
             ctx.system.charge_runtime(len(tasks), label="enqueue tasks")
             divide_span.annotate("chunks", len(chunks))
+            divide_span.annotate("exec_backend", ctx.system.executor.name)
             if ctx.system.cache.transparent:
                 hints = program.prefetch_hints(ctx, chunks)
                 if hints is not None:
@@ -375,5 +383,7 @@ class EagerScheduler(Scheduler):
                     obs.close(span)
                 task.advance(TaskState.DONE)
             program.after_level(ctx)
+            # Same level-boundary settle as the graph schedulers.
+            ctx.system.drain_exec()
         finally:
             obs.close(divide_span)

@@ -34,6 +34,10 @@ from repro.compute.processor import KernelCost, Processor
 from repro.core.buffers import BufferHandle, BufferRegistry
 from repro.core.profiler import Breakdown, profile_trace
 from repro.errors import CacheError, CapacityError, TransferError
+from repro.exec.base import Executor, KernelSpec, make_executor, \
+    resolve_kernel
+from repro.exec.inline import InlineExecutor
+from repro.exec.ledger import MergeTarget, PendingLedger
 from repro.memory import reference
 from repro.memory.device import StorageKind
 from repro.obs.metrics import MetricsRegistry
@@ -140,12 +144,26 @@ class System:
         null observer: the instrumented code path is identical, but no
         span objects are allocated and the trace's span column stays 0.
         Virtual time is bit-identical either way.
+    executor:
+        Compute backend for :meth:`launch` kernel specs
+        (:mod:`repro.exec`): an :class:`~repro.exec.base.Executor`
+        instance, a backend name (``"inline"``, ``"threaded"``,
+        ``"shm"``), or ``None`` for the default in-process
+        :class:`~repro.exec.inline.InlineExecutor` (behaviour-identical
+        to the pre-executor runtime).  Virtual time is charged on the
+        simulator thread under every backend, so makespans and traces
+        are bit-identical; asynchronous backends snapshot operands and
+        merge results in submission order, so buffer bytes are
+        byte-identical too.  Backends the system constructed itself
+        (name or ``None``) are shut down by :meth:`close`; an instance
+        the caller passed stays the caller's to close.
     """
 
     def __init__(self, tree: TopologyTree, *,
                  cache: CacheConfig | None = None,
                  zero_copy: bool = True,
-                 observe: bool = True) -> None:
+                 observe: bool = True,
+                 executor: "Executor | str | None" = None) -> None:
         self.tree = tree
         #: Route physical byte movement through the zero-copy data plane
         #: (``Device.copy_into`` view/pooled-fd/vectored paths).  False
@@ -177,6 +195,17 @@ class System:
         #: are; pull-collectors bridge them in at snapshot time.
         self.metrics = MetricsRegistry()
         self.metrics.register_collector(self._collect_metrics)
+        #: Pending physical effects of asynchronous compute dispatch
+        #: (:mod:`repro.exec.ledger`).  Inert (and near-free to consult)
+        #: under the default inline executor.
+        self._ledger = PendingLedger()
+        self._own_executor = executor is None or isinstance(executor, str)
+        if executor is None:
+            executor = InlineExecutor()
+        elif isinstance(executor, str):
+            executor = make_executor(executor)
+        #: The compute backend kernel specs dispatch through.
+        self.executor: Executor = executor
         self.cache = CacheManager(self, cache or CacheConfig())
         #: Memoized per-edge charging recipes; the topology is immutable
         #: after validation, so these never need invalidating.
@@ -218,7 +247,30 @@ class System:
         """Move ``nbytes`` between two handles' backends, charging wall
         time.  Virtual time is the caller's business; this is Listing
         4's physical half, dispatched on the endpoint backend pair by
-        :meth:`~repro.memory.device.Device.copy_into`."""
+        :meth:`~repro.memory.device.Device.copy_into`.
+
+        When the transfer conflicts with pending executor work (it
+        reads a slab an async kernel will merge into, or touches a slab
+        a deferred copy still needs), it is deferred behind those ops
+        instead of draining them -- that deferral is what keeps several
+        chunk chains in flight across workers."""
+        if self._ledger.active:
+            sslab = (src_node.node_id, src.alloc_id)
+            dslab = (dst_node.node_id, dst.alloc_id)
+            deps = self._ledger.conflicting(reads=(sslab,), writes=(dslab,))
+            if deps:
+                self._ledger.defer_copy(
+                    lambda: self._transfer_now(src_node, src, src_offset,
+                                               dst_node, dst, dst_offset,
+                                               nbytes),
+                    reads=(sslab,), writes=(dslab,), deps=deps)
+                return
+        self._transfer_now(src_node, src, src_offset, dst_node, dst,
+                           dst_offset, nbytes)
+
+    def _transfer_now(self, src_node: TreeNode, src: BufferHandle,
+                      src_offset: int, dst_node: TreeNode, dst: BufferHandle,
+                      dst_offset: int, nbytes: int) -> None:
         t0 = time.perf_counter()
         if self.zero_copy:
             src_node.device.copy_into(
@@ -236,7 +288,29 @@ class System:
                      dst: BufferHandle, dst_offset: int, dst_stride: int, *,
                      rows: int, row_bytes: int) -> None:
         """Strided 2-D variant of :meth:`_transfer`: one vectored
-        gathered transfer instead of a per-row Python loop."""
+        gathered transfer instead of a per-row Python loop (same
+        pending-conflict deferral)."""
+        if self._ledger.active:
+            sslab = (src_node.node_id, src.alloc_id)
+            dslab = (dst_node.node_id, dst.alloc_id)
+            deps = self._ledger.conflicting(reads=(sslab,), writes=(dslab,))
+            if deps:
+                self._ledger.defer_copy(
+                    lambda: self._transfer_2d_now(
+                        src_node, src, src_offset, src_stride, dst_node, dst,
+                        dst_offset, dst_stride, rows=rows,
+                        row_bytes=row_bytes),
+                    reads=(sslab,), writes=(dslab,), deps=deps)
+                return
+        self._transfer_2d_now(src_node, src, src_offset, src_stride,
+                              dst_node, dst, dst_offset, dst_stride,
+                              rows=rows, row_bytes=row_bytes)
+
+    def _transfer_2d_now(self, src_node: TreeNode, src: BufferHandle,
+                         src_offset: int, src_stride: int,
+                         dst_node: TreeNode, dst: BufferHandle,
+                         dst_offset: int, dst_stride: int, *,
+                         rows: int, row_bytes: int) -> None:
         t0 = time.perf_counter()
         if self.zero_copy:
             src_node.device.copy_into_2d(
@@ -271,9 +345,21 @@ class System:
         try:
             alloc_id = n.device.allocate(nbytes)
         except CapacityError:
-            if not self.cache.reclaim(n, nbytes):
-                raise
-            alloc_id = n.device.allocate(nbytes)
+            # Zombie slabs already credited their capacity at release
+            # time, so this retry only matters as a safety net (e.g. a
+            # backend with true physical arenas); settling them is
+            # still cheaper than evicting cached bytes the program may
+            # want.
+            alloc_id = None
+            if self._ledger.active and self._ledger.drain_zombies(n.node_id):
+                try:
+                    alloc_id = n.device.allocate(nbytes)
+                except CapacityError:
+                    alloc_id = None
+            if alloc_id is None:
+                if not self.cache.reclaim(n, nbytes):
+                    raise
+                alloc_id = n.device.allocate(nbytes)
         handle = self.registry.register(node_id=n.node_id, nbytes=nbytes,
                                         alloc_id=alloc_id, label=label)
         if self.tenant_quotas is not None:
@@ -306,8 +392,34 @@ class System:
         node = self.node_of(handle)
         self.registry.unregister(handle)
         if not handle.is_mapped:
-            node.device.release(handle.alloc_id)
+            slab = (node.node_id, handle.alloc_id)
+            if self._ledger.active and self._ledger.has_pending(slab):
+                # Zombie: capacity is credited now (so free-space
+                # queries and later allocations see the logical release
+                # exactly as the inline path would), but the backing
+                # bytes survive until the slab's pending executor work
+                # retires.
+                alloc_id = handle.alloc_id
+                node.device.release_capacity(alloc_id)
+                self._ledger.defer_free(
+                    slab, lambda: node.device.destroy_storage(alloc_id))
+            else:
+                node.device.release(handle.alloc_id)
         self.charge_runtime(1)
+
+    def release_cache_block(self, node: TreeNode, handle: BufferHandle) -> None:
+        """Release a cache block's storage, honouring pending executor
+        work on its slab (the cache's eviction hook): capacity is
+        credited immediately, the bytes survive until any deferred copy
+        still reading them retires."""
+        slab = (node.node_id, handle.alloc_id)
+        if self._ledger.active and self._ledger.has_pending(slab):
+            alloc_id = handle.alloc_id
+            node.device.release_capacity(alloc_id)
+            self._ledger.defer_free(
+                slab, lambda: node.device.destroy_storage(alloc_id))
+        else:
+            node.device.release(handle.alloc_id)
 
     def move(self, dst: BufferHandle, src: BufferHandle, nbytes: int, *,
              dst_offset: int = 0, src_offset: int = 0,
@@ -502,6 +614,10 @@ class System:
         result = self.move(dst, src, nbytes, dst_offset=dst_offset,
                            src_offset=src_offset,
                            label=label or f"move+{type(transform).__name__}")
+        # The in-place rewrite reads and rewrites the destination bytes
+        # directly: the move above may have been deferred behind
+        # pending executor work, so settle the slab first.
+        self._exec_settle(dst, for_write=True)
         dst_node = self.node_of(dst)
         payload = dst_node.device.read(dst.alloc_id,
                                        dst.base_offset + dst_offset, nbytes)
@@ -870,14 +986,21 @@ class System:
     def launch(self, proc: Processor, cost: KernelCost, *,
                reads: tuple[BufferHandle, ...] = (),
                writes: tuple[BufferHandle, ...] = (),
-               fn=None, label: str = "",
+               fn=None, kernel: KernelSpec | None = None, label: str = "",
                extra_duration: float = 0.0) -> Completion:
         """Launch a kernel on a processor (Section III-E).
 
-        ``fn`` performs the real computation (NumPy) immediately;
-        duration comes from the processor's roofline on ``cost``.  The
-        launch waits for its input buffers to be ready and for its output
-        buffers to be safe to overwrite.
+        The real computation is either ``fn`` -- a closure run
+        immediately on the simulator thread, the historical path -- or
+        ``kernel``, a picklable :class:`~repro.exec.base.KernelSpec`
+        dispatched through the system's compute backend
+        (:mod:`repro.exec`): inline backends run it in place over
+        buffer views, asynchronous ones snapshot the bindings and merge
+        results later in submission order.  Duration always comes from
+        the processor's roofline on ``cost``, charged here on the
+        simulator thread -- virtual time is backend-independent.  The
+        launch waits for its input buffers to be ready and for its
+        output buffers to be safe to overwrite.
         """
         node = self.processor_node(proc)
         for h in (*reads, *writes):
@@ -893,7 +1016,11 @@ class System:
             ready = max(ready, h.ready_at)
         for h in writes:
             ready = max(ready, h.last_read_end, h.ready_at)
-        if fn is not None:
+        if kernel is not None:
+            if fn is not None:
+                raise TransferError("launch takes fn or kernel, not both")
+            self._dispatch_kernel(kernel)
+        elif fn is not None:
             fn()
         duration = proc.exec_time(cost) + extra_duration
         done = self.timeline.charge(proc.resource, duration, proc.phase,
@@ -905,6 +1032,118 @@ class System:
         self.charge_runtime(1)
         return done
 
+    def _dispatch_kernel(self, spec: KernelSpec) -> None:
+        """Route a kernel spec to the compute backend.
+
+        Inline backends execute in place over buffer views, exactly as
+        the historical closures did.  Asynchronous backends snapshot
+        every binding's current bytes (outputs included: an ``inout``
+        accumulator needs its prior contents, and untouched window
+        bytes must merge back unchanged), submit, and register the
+        pending merge with the ledger keyed on the output slabs."""
+        ex = self.executor
+        led = self._ledger
+        if not ex.asynchronous:
+            if led.active:
+                slabs = [(b.handle.node_id, b.handle.alloc_id)
+                         for b in spec.bindings]
+                led.complete_writers(slabs)
+                led.complete_all([s for b, s in zip(spec.bindings, slabs)
+                                  if b.writable])
+            self._run_kernel_inline(spec)
+            return
+        t0 = time.perf_counter()
+        slabs = [(b.handle.node_id, b.handle.alloc_id)
+                 for b in spec.bindings]
+        if led.active:
+            # The snapshot must capture the bytes the inline path would
+            # have seen: settle pending writers of every binding first.
+            led.complete_writers(slabs)
+        arrays = []
+        merges = []
+        write_slabs = set()
+        for b, slab in zip(spec.bindings, slabs):
+            arr = self._snapshot_binding(b)
+            arrays.append((b.name, arr, b.writable))
+            if b.writable:
+                # The version bumps *now*, where the inline path's
+                # writable view would have bumped it: any cached copy
+                # is stale from this virtual instant, and host reads
+                # between submit and merge settle through the ledger.
+                b.handle.bump_version()
+                write_slabs.add(slab)
+                merges.append(MergeTarget(
+                    name=b.name, node=self.node_of(b.handle),
+                    alloc_id=b.handle.alloc_id,
+                    offset=b.handle.base_offset + b.offset,
+                    nbytes=arr.nbytes))
+        # Remaining pending ops on the output slabs (deferred copies
+        # that still read or write them) must retire before this
+        # kernel's merge lands.
+        deps = led.conflicting(writes=write_slabs)
+        ticket = ex.submit(spec.fn_ref, arrays, spec.kwargs,
+                           label=spec.label)
+        led.add_kernel(executor=ex, ticket=ticket, writes=write_slabs,
+                       merges=merges, deps=deps, label=spec.label)
+        ex.stats.dispatch_seconds += time.perf_counter() - t0
+
+    def _snapshot_binding(self, b) -> np.ndarray:
+        """An owned, writable copy of a binding's current bytes."""
+        view = self.view_array(b.handle, b.dtype, b.shape, b.offset, b.count)
+        if view is not None:
+            return np.array(view)
+        return self.fetch(b.handle, b.dtype, b.shape, b.offset, b.count)
+
+    def _run_kernel_inline(self, spec: KernelSpec) -> None:
+        """In-place execution over buffer views -- behaviour-identical
+        to the historical per-app closures (fetch/preload round trip on
+        view-less backends)."""
+        ex = self.executor
+        t0 = time.perf_counter()
+        args = {}
+        writebacks = []
+        for b in spec.bindings:
+            arr, is_view = self.host_array(b.handle, b.dtype, b.shape,
+                                           b.offset, b.count,
+                                           writable=b.writable)
+            args[b.name] = arr
+            if b.writable and not is_view:
+                writebacks.append((b, arr))
+        fn = resolve_kernel(spec.fn_ref)
+        ex.stats.submitted += 1
+        ex.stats.dispatch_seconds += time.perf_counter() - t0
+        t1 = time.perf_counter()
+        fn(**args, **spec.kwargs)
+        ex.stats.note_done("main", time.perf_counter() - t1)
+        for b, arr in writebacks:
+            self.preload(b.handle, arr, b.offset)
+
+    def drain_exec(self) -> None:
+        """Settle every pending executor effect: deferred copies run,
+        kernel results merge (submission order), zombie slabs free."""
+        self._ledger.drain_all()
+
+    def end_run(self) -> None:
+        """End-of-run teardown: pending executor work settles, then the
+        cache drops leases and pays write-back IOUs.  Programs call this
+        (via :meth:`NorthupProgram.run`'s finally); the serve layer
+        calls it per job with ``serve_scope`` set."""
+        self.drain_exec()
+        self.cache.end_run()
+
+    def _exec_settle(self, handle: BufferHandle, *,
+                     for_write: bool = False) -> None:
+        """Order an untimed host access behind pending executor work on
+        the handle's slab: reads need pending writers settled, writes
+        need pending readers too."""
+        if not self._ledger.active:
+            return
+        slab = (handle.node_id, handle.alloc_id)
+        if for_write:
+            self._ledger.complete_all((slab,))
+        else:
+            self._ledger.complete_writers((slab,))
+
     # -- untimed host access -------------------------------------------------
 
     def preload(self, handle: BufferHandle, arr: np.ndarray,
@@ -912,6 +1151,7 @@ class System:
         """Write workload data into a buffer without charging time
         (input preprocessing is excluded from measurement, Section V-B)."""
         self.registry.check_live(handle)
+        self._exec_settle(handle, for_write=True)
         arr = np.ascontiguousarray(arr)
         if offset < 0 or offset + arr.nbytes > handle.nbytes:
             raise TransferError(
@@ -926,6 +1166,7 @@ class System:
         """Read a buffer's contents as a typed array without charging
         time (result verification)."""
         self.registry.check_live(handle)
+        self._exec_settle(handle)
         node = self.node_of(handle)
         itemsize = np.dtype(dtype).itemsize
         if count is None:
@@ -972,6 +1213,7 @@ class System:
         only valid while the handle is live.
         """
         self.registry.check_live(handle)
+        self._exec_settle(handle, for_write=writable)
         count = self._host_window(handle, dtype, shape, offset, count)
         node = self.node_of(handle)
         raw = node.device.try_view(handle.alloc_id,
@@ -1012,6 +1254,32 @@ class System:
                   help_text="wall-clock seconds spent moving bytes")
         reg.gauge("wall_bytes_moved", self.wall.bytes_moved)
         reg.gauge("wall_ops", self.wall.ops)
+        ex = self.executor
+        xlabels = {"backend": ex.name}
+        reg.gauge("exec_workers", ex.workers, labels=xlabels)
+        reg.gauge("exec_tasks_submitted", ex.stats.submitted, labels=xlabels)
+        reg.gauge("exec_tasks_completed", ex.stats.completed, labels=xlabels)
+        reg.gauge("exec_dispatch_seconds", ex.stats.dispatch_seconds,
+                  labels=xlabels,
+                  help_text="submit-side snapshot/packing/queueing wall time")
+        reg.gauge("exec_merge_seconds", ex.stats.merge_seconds,
+                  labels=xlabels,
+                  help_text="result read-back wall time (async backends)")
+        reg.gauge("exec_bytes_in", ex.stats.bytes_in, labels=xlabels)
+        reg.gauge("exec_bytes_out", ex.stats.bytes_out, labels=xlabels)
+        for worker in sorted(ex.stats.worker_busy):
+            wlabels = dict(xlabels, worker=worker)
+            reg.gauge("exec_worker_busy_seconds",
+                      ex.stats.worker_busy[worker], labels=wlabels,
+                      help_text="kernel wall seconds per pool worker")
+            reg.gauge("exec_worker_tasks", ex.stats.worker_tasks[worker],
+                      labels=wlabels)
+        reg.gauge("exec_deferred_copies", self._ledger.deferred_copies,
+                  labels=xlabels,
+                  help_text="transfers deferred behind pending async work")
+        reg.gauge("exec_zombie_frees", self._ledger.zombie_frees,
+                  labels=xlabels,
+                  help_text="releases whose physical free was deferred")
         trace = self.timeline.trace
         reg.gauge("trace_intervals", len(trace))
         reg.gauge("virtual_makespan_seconds", self.timeline.makespan())
@@ -1094,7 +1362,12 @@ class System:
             h.times.reset()
 
     def close(self) -> None:
-        """Release every device backend (tree ownership)."""
+        """Release every device backend (tree ownership); pending
+        executor work settles first and a system-owned executor pool is
+        shut down."""
+        self.drain_exec()
+        if self._own_executor:
+            self.executor.close()
         self.tree.close()
 
     def __enter__(self) -> "System":

@@ -1,0 +1,232 @@
+"""Shared-memory process-pool executor.
+
+A persistent ``multiprocessing`` pool (fork start method where the
+platform offers it) runs independent compute nodes concurrently.
+Operands travel through ``multiprocessing.shared_memory`` segments: the
+parent copies each binding's snapshot into a pooled segment at submit
+(one copy), the worker maps the segment zero-copy, and writable
+segments are read straight back at merge (one copy) -- the zero-copy
+data plane's handoff discipline applied across the process boundary.
+
+Determinism
+-----------
+Replies may arrive in any order (they are stashed), but the runtime's
+:class:`~repro.exec.ledger.PendingLedger` merges results in submission
+order -- the rule :mod:`repro.bench.parallel` established -- so final
+buffer bytes are independent of worker scheduling.
+
+Lifecycle
+---------
+Segments are pooled by exact size and reused across tasks (worker-side
+attachments are cached by name, so steady state does zero ``shm_open``
+calls).  ``close()`` is idempotent: sentinel-shutdown of the workers,
+then every segment is closed *and unlinked*.  A module-level ``atexit``
+guard closes any executor still live at interpreter exit, so no
+``/dev/shm`` residue survives a test run even when teardown is skipped.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exec.base import ExecError, Executor, TaskResult
+from repro.exec.worker import worker_main
+
+#: Prefix of every segment this process creates; the residue test and
+#: the atexit reaper match on it.
+SHM_PREFIX = f"repro_exec_{os.getpid()}_"
+
+_LIVE: "weakref.WeakSet[SharedMemExecutor]" = weakref.WeakSet()
+_ATEXIT_ARMED = False
+
+
+def _reap_all() -> None:
+    for ex in list(_LIVE):
+        try:
+            ex.close()
+        except Exception:
+            pass
+
+
+def _arm_atexit() -> None:
+    global _ATEXIT_ARMED
+    if not _ATEXIT_ARMED:
+        atexit.register(_reap_all)
+        _ATEXIT_ARMED = True
+
+
+class _SegmentPool:
+    """Exact-size free lists of shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._free: dict[int, list[shared_memory.SharedMemory]] = {}
+        self._all: dict[str, shared_memory.SharedMemory] = {}
+        self._seq = 0
+        self.created = 0
+        self.reused = 0
+
+    def take(self, nbytes: int) -> shared_memory.SharedMemory:
+        size = max(1, nbytes)
+        bucket = self._free.get(size)
+        if bucket:
+            self.reused += 1
+            return bucket.pop()
+        self._seq += 1
+        self.created += 1
+        seg = shared_memory.SharedMemory(
+            create=True, size=size, name=f"{SHM_PREFIX}{self._seq}")
+        self._all[seg.name] = seg
+        return seg
+
+    def give(self, seg: shared_memory.SharedMemory) -> None:
+        self._free.setdefault(seg.size, []).append(seg)
+
+    def close_all(self) -> None:
+        for seg in self._all.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._all.clear()
+        self._free.clear()
+
+
+class SharedMemExecutor(Executor):
+    """Persistent worker-process pool over shared-memory operands."""
+
+    name = "shm"
+    asynchronous = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        from repro.exec.base import default_exec_workers
+        super().__init__(workers=workers or default_exec_workers())
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        # The resource tracker must predate the workers so they inherit
+        # it: a child spawning its *own* tracker would unlink shared
+        # segments when that child exits (bpo-39959).
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+        self._tasks = ctx.Queue()
+        self._replies = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=worker_main, args=(i, self._tasks,
+                                                  self._replies),
+                        name=f"repro-exec-{i}", daemon=True)
+            for i in range(self.workers)]
+        for p in self._procs:
+            p.start()
+        self._pool = _SegmentPool()
+        self._next = 0
+        #: ticket -> list of (name, segment, shape, dtype, writable)
+        self._inflight: dict[int, list] = {}
+        self._done: dict[int, tuple] = {}
+        _LIVE.add(self)
+        _arm_atexit()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, ref, arrays, kwargs, label=""):
+        if self.closed:
+            raise ExecError("executor is closed")
+        self._next += 1
+        ticket = self._next
+        bound = []
+        descriptors = []
+        for name, arr, writable in arrays:
+            seg = self._pool.take(arr.nbytes)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            np.copyto(view, arr, casting="no")
+            bound.append((name, seg, arr.shape, arr.dtype.str, writable))
+            descriptors.append((name, seg.name, arr.shape, arr.dtype.str,
+                                writable))
+            self.stats.bytes_in += arr.nbytes
+        self._inflight[ticket] = bound
+        self.stats.submitted += 1
+        self._tasks.put((ticket, ref, descriptors, kwargs))
+        return ticket
+
+    def _collect(self, ticket: int) -> tuple:
+        while ticket not in self._done:
+            try:
+                tid, worker, seconds, err = self._replies.get(timeout=1.0)
+            except Exception:
+                if not any(p.is_alive() for p in self._procs):
+                    raise ExecError(
+                        "every shm worker died before the task completed"
+                    ) from None
+                continue
+            self._done[tid] = (worker, seconds, err)
+        return self._done.pop(ticket)
+
+    def wait(self, ticket):
+        bound = self._inflight.get(ticket)
+        if bound is None:
+            raise ExecError(f"unknown ticket {ticket}")
+        worker, seconds, err = self._collect(ticket)
+        if err is not None:
+            self.release(ticket)
+            raise ExecError(f"shm kernel failed in worker w{worker}:\n{err}")
+        outputs = {}
+        for name, seg, shape, dtype, writable in bound:
+            if writable:
+                out = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+                outputs[name] = out
+                self.stats.bytes_out += out.nbytes
+        self.stats.note_done(f"w{worker}", seconds)
+        return TaskResult(worker=f"w{worker}", seconds=seconds,
+                          outputs=outputs)
+
+    def release(self, ticket):
+        bound = self._inflight.pop(ticket, None)
+        if bound:
+            for _name, seg, _shape, _dtype, _w in bound:
+                self._pool.give(seg)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self.closed:
+            return
+        super().close()
+        try:
+            for _ in self._procs:
+                self._tasks.put(None)
+            deadline = time.monotonic() + 5.0
+            for p in self._procs:
+                p.join(timeout=max(0.1, deadline - time.monotonic()))
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+        finally:
+            self._inflight.clear()
+            self._pool.close_all()
+            for q in (self._tasks, self._replies):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except Exception:
+                    pass
+
+    def describe(self) -> str:
+        return (f"{self.name}(workers={self.workers}, "
+                f"segments={self._pool.created} created/"
+                f"{self._pool.reused} reused)")
+
+
+def shm_residue() -> list[str]:
+    """Names of this process's leftover segments under ``/dev/shm``
+    (empty after proper teardown -- the lifecycle tests assert on it)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(n for n in os.listdir(root) if n.startswith(SHM_PREFIX))

@@ -1,0 +1,74 @@
+"""Worker-process loop of :class:`~repro.exec.shm.SharedMemExecutor`.
+
+Each worker drains a task queue of ``(task_id, fn_ref, descriptors,
+kwargs)`` tuples, maps the named ``multiprocessing.shared_memory``
+segments, wraps them as typed NumPy arrays (inputs read-only) and calls
+the kernel the reference names.  Replies carry the measured kernel
+seconds so the parent can account per-worker occupancy.
+
+Workers never *own* segments: the parent creates, recycles and unlinks
+them.  Attaching registers the name with the ``resource_tracker``
+(unconditionally before Python 3.13, bpo-39959); the parent starts the
+tracker *before* forking workers, so every child shares it and the
+child-side registration is a set-level no-op -- lifecycle authority
+stays with the parent, which unlinks and unregisters each segment
+exactly once at close.  Attachments are cached LRU by name -- the
+parent reuses segment names heavily, so steady state is one ``mmap``
+per pooled segment.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import OrderedDict
+from multiprocessing import shared_memory
+from time import perf_counter
+
+import numpy as np
+
+#: Cached attachments per worker; beyond this the oldest mapping closes.
+ATTACH_CACHE = 128
+
+
+def _attach(cache: "OrderedDict[str, shared_memory.SharedMemory]",
+            name: str) -> shared_memory.SharedMemory:
+    seg = cache.get(name)
+    if seg is not None:
+        cache.move_to_end(name)
+        return seg
+    seg = shared_memory.SharedMemory(name=name)
+    cache[name] = seg
+    while len(cache) > ATTACH_CACHE:
+        _old, stale = cache.popitem(last=False)
+        stale.close()
+    return seg
+
+
+def worker_main(worker_id: int, tasks, replies) -> None:
+    """Drain ``tasks`` until the ``None`` sentinel arrives."""
+    from repro.exec.base import resolve_kernel
+
+    cache: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+    while True:
+        msg = tasks.get()
+        if msg is None:
+            break
+        task_id, ref, descriptors, kwargs = msg
+        t0 = perf_counter()
+        try:
+            fn = resolve_kernel(ref)
+            args = {}
+            for name, seg_name, shape, dtype, writable in descriptors:
+                seg = _attach(cache, seg_name)
+                arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+                if not writable:
+                    arr = arr.view()
+                    arr.flags.writeable = False
+                args[name] = arr
+            fn(**args, **kwargs)
+            replies.put((task_id, worker_id, perf_counter() - t0, None))
+        except BaseException:
+            replies.put((task_id, worker_id, perf_counter() - t0,
+                         traceback.format_exc()))
+    for seg in cache.values():
+        seg.close()

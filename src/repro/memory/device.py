@@ -181,6 +181,20 @@ class Device:
         self.backend.destroy(alloc_id)
         self.allocator.free(alloc_id)
 
+    def release_capacity(self, alloc_id: int) -> None:
+        """Return the allocation's address range to the allocator while
+        the backing bytes stay readable (storage is keyed by allocation
+        id, not address).  Pairs with :meth:`destroy_storage`: the
+        runtime splits a release this way when executor work is still
+        pending on the buffer, so capacity queries see the logical
+        release immediately."""
+        self.allocator.free(alloc_id)
+
+    def destroy_storage(self, alloc_id: int) -> None:
+        """Drop the backing bytes of an allocation whose capacity was
+        already credited by :meth:`release_capacity`."""
+        self.backend.destroy(alloc_id)
+
     def read(self, alloc_id: int, offset: int, nbytes: int) -> np.ndarray:
         return self.backend.read(alloc_id, offset, nbytes)
 

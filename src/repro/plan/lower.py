@@ -133,6 +133,9 @@ def lower_level(program, ctx, *, window=1) -> LevelPlan:
         tasks = [queue.enqueue(chunk) for chunk in chunks]
         system.charge_runtime(len(tasks), label="enqueue tasks")
         divide_span.annotate("chunks", len(chunks))
+        # Which compute backend the level's kernels dispatch through
+        # (plan inspection / trace analysis reads it off the span).
+        divide_span.annotate("exec_backend", system.executor.name)
 
         graph = TaskGraph(level=ctx.node.level, tree_node=ctx.node.node_id)
         if callable(window):

@@ -130,8 +130,10 @@ def build_stream(scale: dict, *, seed: int) -> list:
                            spec=elephant_spec(scale))]
 
 
-def _fresh_system() -> System:
-    return System(configs.scaled_apu_tree("ssd"))
+def _fresh_system(executor: str | None = None) -> System:
+    # A backend *name* makes the pool system-owned: System.close()
+    # tears it down with the rest of the run.
+    return System(configs.scaled_apu_tree("ssd"), executor=executor)
 
 
 def _pct(sorted_vals: list[float], q: float) -> float:
@@ -175,15 +177,19 @@ class SoloOracle:
 
 def run_policy(policy: str, *, scale_name: str, seed: int = 0,
                oracle: SoloOracle | None = None,
-               reports_dir: str | None = None) -> dict:
+               reports_dir: str | None = None,
+               executor: str | None = None) -> dict:
     """Serve the seeded stream under one policy on a fresh system.
 
     Returns the BENCH payload entry for that policy.  When ``oracle``
     is given, every DONE job's result bytes are compared against the
-    solo in-order run of its spec; a mismatch raises.
+    solo in-order run of its spec; a mismatch raises.  ``executor``
+    picks the compute backend (``inline`` when None); every statistic
+    in the payload is virtual, so the payload must be byte-identical
+    across backends.
     """
     scale = SCALES[scale_name]
-    system = _fresh_system()
+    system = _fresh_system(executor)
     service = JobService(system, ServeConfig(
         policy=policy, seed=seed, max_pending=scale["max_pending"],
         max_live_per_tenant=scale["max_live_per_tenant"],

@@ -237,6 +237,10 @@ class JobService:
 
     def _finalize(self, job: Job) -> None:
         job.thread.join()
+        # The job's compute-backend work settles before its span closes
+        # and its result buffers are read (async kernel merges, deferred
+        # copies) -- the per-job counterpart of ``System.end_run``.
+        self.system.drain_exec()
         if job.gate.error is not None:
             job.state = JobState.FAILED
             job.error = job.gate.error
@@ -297,6 +301,7 @@ class JobService:
         lines = [
             f"policy: {self.policy.describe()}",
             f"admission: {self.admission.describe()}",
+            f"executor: {self.system.executor.describe()}",
             f"virtual now: {self.now:.6f}s  grants: {self._grants}",
         ]
         if self.quotas is not None:

@@ -10,6 +10,7 @@ Examples::
     python -m repro.tools.describe --cache apu
     python -m repro.tools.describe --cache dgpu --cache-policy oracle
     python -m repro.tools.describe --obs apu
+    python -m repro.tools.describe --exec
 """
 
 from __future__ import annotations
@@ -254,6 +255,64 @@ def _print_serve() -> int:
     return 0
 
 
+def _print_exec() -> int:
+    """Run a small GEMM once per compute backend and print each
+    executor's config, occupancy counters, and the cross-backend
+    equivalence check (byte-identical bytes, bit-identical makespan)."""
+    import hashlib
+
+    import numpy as np
+
+    from repro.apps.gemm import GemmApp
+    from repro.core.system import System
+    from repro.exec import EXEC_BACKENDS, make_executor, shm_residue
+    from repro.memory.units import KB, MB
+
+    print("compute backends (demo: gemm 128x128x128 per backend):")
+    reference: dict | None = None
+    for backend in EXEC_BACKENDS:
+        # The executor is caller-owned (System only closes executors it
+        # built itself), so close it after the system in all cases.
+        executor = make_executor(backend, workers=2)
+        system = System(builders.apu_two_level(storage_capacity=8 * MB,
+                                               staging_bytes=256 * KB),
+                        executor=executor)
+        try:
+            app = GemmApp(system, m=128, k=128, n=128, seed=3)
+            app.run(system)
+            digest = hashlib.sha256(
+                np.ascontiguousarray(app.result()).tobytes()).hexdigest()
+            stats = system.executor.stats
+            print(f"\n  {system.executor.describe()}")
+            print(f"    kernels: {stats.completed} submitted/completed, "
+                  f"dispatch {stats.dispatch_seconds:.4f}s, "
+                  f"merge {stats.merge_seconds:.4f}s")
+            if stats.worker_busy:
+                busy = " ".join(f"{w}={s:.4f}s"
+                                for w, s in sorted(stats.worker_busy.items()))
+                print(f"    worker busy: {busy}")
+            print(f"    makespan {system.makespan():.6f}s (virtual), "
+                  f"result sha256 {digest[:16]}...")
+            if reference is None:
+                reference = {"digest": digest,
+                             "makespan": system.makespan()}
+            else:
+                ok = (digest == reference["digest"]
+                      and system.makespan() == reference["makespan"])
+                print(f"    matches inline: "
+                      f"{'yes (bytes + virtual time)' if ok else 'NO'}")
+        except NorthupError as exc:
+            print(f"  {backend}: demo run failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            system.close()
+            executor.close()
+    residue = shm_residue()
+    print(f"\n  shared-memory residue after teardown: "
+          f"{residue if residue else 'none'}")
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -300,6 +359,11 @@ def main(argv: list[str] | None = None) -> int:
                              "and print its runtime config, tenant "
                              "quotas, admission limits, and live "
                              "queue state")
+    parser.add_argument("--exec", action="store_true", dest="exec_",
+                        help="run a small demo on every compute backend "
+                             "(inline, threaded, shm) and print executor "
+                             "configs, worker occupancy, and the "
+                             "cross-backend equivalence check")
     parser.add_argument("--plan", metavar="NAME", nargs="?", const="apu",
                         help="lower the example programs on a topology "
                              "(default apu) and dump each level's task "
@@ -325,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_obs(args.obs)
     if args.serve:
         return _print_serve()
+    if args.exec_:
+        return _print_exec()
     if args.plan:
         return _print_plan(args.plan)
     parser.print_help()

@@ -171,6 +171,59 @@ def test_array_pool_zero_size():
     assert pool.held_bytes == 0
 
 
+def test_array_pool_concurrent_stress():
+    """Hammer one pool from many threads (the threaded executor and the
+    serve layer share pools): every take() must hand out a zeroed
+    array that no other thread holds, and the accounting must balance.
+    """
+    import threading
+
+    pool = ArrayPool(max_bytes=1 << 20)
+    sizes = [256, 512, 1024, 4096]
+    errors: list[str] = []
+    takes: list[int] = []
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        held: list[np.ndarray] = []
+        count = 0
+        try:
+            for _ in range(400):
+                if held and rng.random() < 0.5:
+                    arr = held.pop()
+                    if not (arr == 0xAB).all():
+                        errors.append("held array was clobbered")
+                        return
+                    pool.give(arr)
+                else:
+                    size = int(sizes[rng.integers(len(sizes))])
+                    arr = pool.take(size)
+                    count += 1
+                    if arr.nbytes != size:
+                        errors.append(f"missized: {arr.nbytes} != {size}")
+                        return
+                    if arr.any():
+                        errors.append("recycled array was not scrubbed")
+                        return
+                    arr[:] = 0xAB
+                    held.append(arr)
+            for arr in held:
+                pool.give(arr)
+        except Exception as exc:           # noqa: BLE001 - reported below
+            errors.append(repr(exc))
+        finally:
+            takes.append(count)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+    assert pool.fresh + pool.reuses == sum(takes)
+    assert pool.held_bytes <= 1 << 20
+
+
 def test_mem_backend_pooled_alloc_is_zeroed():
     """Recycled pool memory must never leak prior contents into a
     fresh allocation."""

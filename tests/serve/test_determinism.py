@@ -1,17 +1,21 @@
 """Scheduler determinism: an identical seed and arrival stream yields a
 byte-identical dispatch order and identical virtual bench numbers --
-across repeated in-process runs and under the process-pool bench
-runner."""
+across repeated in-process runs, under the process-pool bench runner,
+and on every compute backend."""
 
 import json
 
+import pytest
+
 from repro.bench.parallel import run_parallel
+from repro.exec import EXEC_BACKENDS
 from repro.serve import bench as serve_bench
 
 
-def _run_policy(policy):
+def _run_policy(policy, executor=None):
     """Module-level so the process pool can pickle it."""
-    return serve_bench.run_policy(policy, scale_name="ci", seed=0)
+    return serve_bench.run_policy(policy, scale_name="ci", seed=0,
+                                  executor=executor)
 
 
 def _strip_env(row):
@@ -43,6 +47,19 @@ def test_process_pool_matches_inline():
     for a, b in zip(inline, pooled):
         assert json.dumps(_strip_env(a), sort_keys=True) == \
             json.dumps(_strip_env(b), sort_keys=True)
+
+
+@pytest.mark.parametrize("backend", [b for b in EXEC_BACKENDS
+                                     if b != "inline"])
+def test_async_compute_backend_is_dispatch_invisible(backend):
+    """Serving on a worker pool must not perturb a single virtual
+    statistic or dispatch decision: the whole payload stays
+    byte-identical to the inline run."""
+    inline = _run_policy("fair")
+    pooled = _run_policy("fair", executor=backend)
+    assert json.dumps(inline, sort_keys=True) == \
+        json.dumps(pooled, sort_keys=True)
+    assert inline["dispatch_digest"] == pooled["dispatch_digest"]
 
 
 def test_seed_changes_the_stream():
