@@ -1,0 +1,306 @@
+"""The distributed compute backend: pinned worker processes over pipes.
+
+:class:`DistExecutor` slots behind the :class:`~repro.exec.base.Executor`
+interface like any other backend -- ``make_executor("dist")`` -- but
+models a share-nothing cluster: every operand crosses to its worker as
+a pickled message (:mod:`repro.dist.protocol`), and writable outputs
+travel back the same way.  No shared memory, no shared file
+descriptors: the pipes *are* the network.
+
+Placement is **pinned**, not load-balanced: the distributed scheduler
+(:mod:`repro.dist.runner`) pins the executor to a partition before
+dispatching each task-graph node, so all of one partition's kernels --
+including nested levels lowered inside its compute nodes -- run in one
+worker process, the way a real per-machine shard would.  Unpinned
+submits (direct executor use, non-distributed schedulers) round-robin
+deterministically by submission index.
+
+Failure handling (the coordinator must never deadlock):
+
+* a kernel *exception* comes back as a normal error ack -- the worker
+  survives and the failure surfaces at ``wait`` like any backend;
+* a worker *crash* (``os._exit``, OOM kill) tears its pipe; the
+  coordinator sees EOF and fails every ticket pinned to that worker
+  with an :class:`~repro.exec.base.ExecError` naming the owning
+  partition and task-graph node;
+* a *hung* worker trips the bounded ``join_timeout`` at ``wait``, with
+  the same attribution; ``close()`` terminates stragglers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import queue
+import threading
+import time
+import weakref
+from multiprocessing.connection import wait as conn_wait
+
+from repro.dist.protocol import SHUTDOWN, CompletionAck, TaskGrant
+from repro.dist.worker import dist_worker_main
+from repro.exec.base import ExecError, Executor, TaskResult
+
+_LIVE: "weakref.WeakSet[DistExecutor]" = weakref.WeakSet()
+_ATEXIT_ARMED = False
+
+
+def _reap_all() -> None:
+    for ex in list(_LIVE):
+        try:
+            ex.close()
+        except Exception:
+            pass
+
+
+def _arm_atexit() -> None:
+    global _ATEXIT_ARMED
+    if not _ATEXIT_ARMED:
+        atexit.register(_reap_all)
+        _ATEXIT_ARMED = True
+
+
+class _Pending:
+    __slots__ = ("worker", "node_id", "partition", "label")
+
+    def __init__(self, worker: int, node_id: int, partition: int,
+                 label: str) -> None:
+        self.worker = worker
+        self.node_id = node_id
+        self.partition = partition
+        self.label = label
+
+    def describe(self) -> str:
+        where = (f"partition {self.partition}" if self.partition >= 0
+                 else "unpartitioned submit")
+        what = (f"task-graph node #{self.node_id}" if self.node_id >= 0
+                else "a direct kernel")
+        extra = f" ({self.label})" if self.label else ""
+        return f"{what}{extra} of {where}"
+
+
+class DistExecutor(Executor):
+    """Message-passing worker-process pool with partition pinning."""
+
+    name = "dist"
+    asynchronous = True
+
+    def __init__(self, workers: int | None = None, *,
+                 join_timeout: float = 120.0) -> None:
+        from repro.exec.base import default_exec_workers
+        super().__init__(workers=workers or default_exec_workers())
+        #: Upper bound on any single blocking operation against a
+        #: worker (wait for one ack, close-time join): the coordinator
+        #: surfaces a clean error instead of deadlocking on a hung
+        #: partition.  Raise it for kernels that legitimately run
+        #: longer.
+        self.join_timeout = join_timeout
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        self._conns = []
+        self._procs = []
+        for i in range(self.workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=dist_worker_main, args=(i, child),
+                               name=f"repro-dist-{i}", daemon=True)
+            proc.start()
+            child.close()           # the worker owns its end now
+            self._conns.append(parent)
+            self._procs.append(proc)
+        # Outbound grants go through one sender thread per worker: the
+        # coordinator never blocks on a full pipe, so a worker shipping
+        # a large ack while the coordinator ships a large grant cannot
+        # deadlock the pair (both directions drain independently).
+        self._out: list[queue.Queue] = [queue.Queue()
+                                        for _ in range(self.workers)]
+        self._senders = [
+            threading.Thread(target=self._sender_loop, args=(i,),
+                             name=f"repro-dist-send-{i}", daemon=True)
+            for i in range(self.workers)]
+        for t in self._senders:
+            t.start()
+        self._dead: set[int] = set()
+        self._pin: int | None = None
+        self._ctx_node = -1
+        self._ctx_part = -1
+        self._next = 0
+        self._pending: dict[int, _Pending] = {}
+        self._done: dict[int, CompletionAck] = {}
+        self._failed: dict[int, str] = {}
+        _LIVE.add(self)
+        _arm_atexit()
+
+    # -- placement ---------------------------------------------------------
+
+    def pin(self, partition: int | None) -> None:
+        """Route subsequent submits to ``partition % workers`` (the
+        distributed scheduler's per-node affinity); ``None`` restores
+        round-robin."""
+        self._pin = partition
+
+    def set_task_context(self, *, node_id: int = -1,
+                         partition: int = -1) -> None:
+        """Attribution for the next submits: the task-graph node and
+        partition a failure message should name."""
+        self._ctx_node = node_id
+        self._ctx_part = partition
+
+    def _place(self) -> int:
+        if self._pin is not None:
+            return self._pin % self.workers
+        worker = self._next % self.workers
+        return worker
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, ref, arrays, kwargs, label=""):
+        if self.closed:
+            raise ExecError("executor is closed")
+        worker = self._place()
+        self._next += 1
+        ticket = self._next
+        part = self._ctx_part if self._ctx_part >= 0 else (
+            self._pin if self._pin is not None else -1)
+        pending = _Pending(worker, self._ctx_node, part, label)
+        if worker in self._dead:
+            raise ExecError(
+                f"distributed worker w{worker} is dead; cannot dispatch "
+                f"{pending.describe()}")
+        grant = TaskGrant(ticket=ticket, fn_ref=ref, operands=list(arrays),
+                          kwargs=kwargs, label=label,
+                          node_id=self._ctx_node, partition=part)
+        for _name, arr, _writable in arrays:
+            self.stats.bytes_in += arr.nbytes
+        self._pending[ticket] = pending
+        self._out[worker].put(grant)
+        self.stats.submitted += 1
+        return ticket
+
+    def _sender_loop(self, worker: int) -> None:
+        conn = self._conns[worker]
+        out = self._out[worker]
+        while True:
+            msg = out.get()
+            if msg is None:
+                return
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                # Worker (or pipe) gone; the receive side sees the EOF
+                # and fails this worker's tickets with attribution.
+                return
+
+    # -- completion --------------------------------------------------------
+
+    def _mark_dead(self, worker: int) -> None:
+        if worker in self._dead:
+            return
+        self._dead.add(worker)
+        exit_code = self._procs[worker].exitcode
+        for ticket, pending in list(self._pending.items()):
+            if pending.worker == worker:
+                del self._pending[ticket]
+                self._failed[ticket] = (
+                    f"distributed worker w{worker} died "
+                    f"(exit code {exit_code}) before completing "
+                    f"{pending.describe()}")
+
+    def _live_conns(self) -> list:
+        return [c for i, c in enumerate(self._conns)
+                if i not in self._dead]
+
+    def _pump(self, deadline: float) -> None:
+        """Collect acks until something arrives or the deadline hits."""
+        conns = self._live_conns()
+        if not conns:
+            return
+        timeout = max(0.0, min(1.0, deadline - time.monotonic()))
+        for conn in conn_wait(conns, timeout=timeout):
+            worker = self._conns.index(conn)
+            try:
+                ack = conn.recv()
+            except (EOFError, OSError):
+                self._mark_dead(worker)
+                continue
+            assert isinstance(ack, CompletionAck)
+            self._done[ack.ticket] = ack
+
+    def wait(self, ticket):
+        deadline = time.monotonic() + self.join_timeout
+        while True:
+            ack = self._done.get(ticket)
+            if ack is not None:
+                break
+            reason = self._failed.pop(ticket, None)
+            if reason is not None:
+                raise ExecError(reason)
+            pending = self._pending.get(ticket)
+            if pending is None:
+                raise ExecError(f"unknown ticket {ticket}")
+            if time.monotonic() >= deadline:
+                raise ExecError(
+                    f"distributed worker w{pending.worker} did not "
+                    f"complete {pending.describe()} within "
+                    f"{self.join_timeout:g}s (hung worker?)")
+            self._pump(deadline)
+        pending = self._pending.pop(ticket, None)
+        if ack.error is not None:
+            self._done.pop(ticket, None)
+            where = pending.describe() if pending else f"ticket {ticket}"
+            raise ExecError(
+                f"dist kernel failed in worker w{ack.worker} running "
+                f"{where}:\n{ack.error}")
+        for arr in ack.outputs.values():
+            self.stats.bytes_out += arr.nbytes
+        self.stats.note_done(f"w{ack.worker}", ack.seconds)
+        return TaskResult(worker=f"w{ack.worker}", seconds=ack.seconds,
+                          outputs=ack.outputs)
+
+    def release(self, ticket):
+        self._done.pop(ticket, None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self.closed:
+            return
+        super().close()
+        for out in self._out:
+            out.put(SHUTDOWN)
+            out.put(None)           # sender-thread sentinel
+        deadline = time.monotonic() + min(5.0, self.join_timeout)
+        for p in self._procs:
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        for t in self._senders:
+            t.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._pending.clear()
+        self._done.clear()
+        self._failed.clear()
+
+    def describe(self) -> str:
+        dead = f", dead={sorted(self._dead)}" if self._dead else ""
+        return (f"{self.name}(workers={self.workers}, "
+                f"pin={self._pin}{dead})")
+
+
+def dist_residue() -> list[str]:
+    """Live dist worker processes of this coordinator (empty after
+    proper teardown -- the lifecycle tests assert on it)."""
+    out = []
+    for ex in list(_LIVE):
+        for p in ex._procs:
+            if p.is_alive():
+                out.append(p.name)
+    return sorted(out)
+
+
+__all__ = ["DistExecutor", "dist_residue"]

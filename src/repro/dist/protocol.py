@@ -1,0 +1,56 @@
+"""Control-plane protocol between the coordinator and dist workers.
+
+One duplex pipe per worker carries picklable messages:
+
+* :class:`TaskGrant` (coordinator -> worker) -- one kernel dispatch:
+  the ``module:qualname`` entry point, operand arrays (the slab
+  shipment: snapshot bytes travel inside the message), kwargs, and the
+  owning task-graph node / partition for failure attribution;
+* :class:`CompletionAck` (worker -> coordinator) -- the ticket's
+  outcome: measured kernel seconds, the writable output arrays shipped
+  back, or a formatted traceback on failure;
+* :data:`SHUTDOWN` (coordinator -> worker) -- drain and exit.
+
+Determinism does not come from the wire: acks arrive in any order and
+are stashed; the :class:`~repro.exec.ledger.PendingLedger` merges
+results in submission order, exactly as for the shared-memory pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Coordinator -> worker sentinel: drain the pipe and exit.
+SHUTDOWN = "shutdown"
+
+
+@dataclass
+class TaskGrant:
+    """One kernel dispatched to a pinned worker."""
+
+    ticket: int
+    fn_ref: str
+    #: ``(name, array, writable)`` operand triples; arrays are owned
+    #: snapshots, pickled through the pipe (the slab shipment down).
+    operands: list
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+    #: Owning task-graph node id / partition (failure attribution);
+    #: -1 when the submit came from outside a distributed drain.
+    node_id: int = -1
+    partition: int = -1
+
+
+@dataclass
+class CompletionAck:
+    """A worker's reply for one grant."""
+
+    ticket: int
+    worker: int
+    seconds: float
+    #: Formatted traceback when the kernel raised; ``None`` on success.
+    error: str | None = None
+    #: name -> array for every writable operand (the shipment back up).
+    outputs: dict[str, np.ndarray] = field(default_factory=dict)

@@ -1,0 +1,66 @@
+"""Worker-process loop of :class:`~repro.dist.executor.DistExecutor`.
+
+Each worker owns one end of a duplex pipe and drains
+:class:`~repro.dist.protocol.TaskGrant` messages until the
+:data:`~repro.dist.protocol.SHUTDOWN` sentinel (or pipe EOF) arrives.
+Operand arrays arrive *inside* the grant (pickled slab shipments --
+message passing, not shared memory: these workers model machines that
+share nothing but the network), read-only operands are locked before
+the kernel runs, and writable outputs travel back inside the
+:class:`~repro.dist.protocol.CompletionAck`.
+
+A kernel exception is caught and shipped back as a formatted traceback
+-- the worker survives and keeps serving its partition.  Only process
+death (e.g. a kernel calling ``os._exit``) tears the pipe; the
+coordinator detects the EOF and fails that partition's tickets cleanly
+(:meth:`DistExecutor.wait`).
+"""
+
+from __future__ import annotations
+
+import traceback
+from time import perf_counter
+
+from repro.dist.protocol import SHUTDOWN, CompletionAck, TaskGrant
+
+
+def dist_worker_main(worker_id: int, conn) -> None:
+    """Serve grants on ``conn`` until shutdown or EOF."""
+    from repro.exec.base import resolve_kernel
+
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:            # coordinator died / closed our pipe
+            break
+        if msg is None or msg == SHUTDOWN:
+            break
+        assert isinstance(msg, TaskGrant), f"unexpected message {msg!r}"
+        t0 = perf_counter()
+        try:
+            fn = resolve_kernel(msg.fn_ref)
+            args = {}
+            outputs = {}
+            for name, arr, writable in msg.operands:
+                if writable:
+                    outputs[name] = arr
+                else:
+                    arr = arr.view()
+                    arr.flags.writeable = False
+                args[name] = arr
+            fn(**args, **msg.kwargs)
+            ack = CompletionAck(ticket=msg.ticket, worker=worker_id,
+                                seconds=perf_counter() - t0,
+                                outputs=outputs)
+        except BaseException:
+            ack = CompletionAck(ticket=msg.ticket, worker=worker_id,
+                                seconds=perf_counter() - t0,
+                                error=traceback.format_exc())
+        try:
+            conn.send(ack)
+        except (BrokenPipeError, OSError):   # coordinator gone
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

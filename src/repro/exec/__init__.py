@@ -7,8 +7,9 @@ makespan-identical to the inline path.
 
 from repro.exec.base import (Binding, EXEC_BACKENDS, ExecError, ExecStats,
                              Executor, KernelSpec, TaskResult,
-                             default_exec_workers, fn_ref, kernel_spec,
-                             make_executor, resolve_kernel)
+                             default_exec_workers, effective_cpu_count,
+                             fn_ref, kernel_spec, make_executor,
+                             resolve_kernel)
 from repro.exec.inline import InlineExecutor
 from repro.exec.ledger import MergeTarget, PendingLedger
 from repro.exec.shm import SharedMemExecutor, shm_residue
@@ -18,6 +19,6 @@ __all__ = [
     "Binding", "EXEC_BACKENDS", "ExecError", "ExecStats", "Executor",
     "InlineExecutor", "KernelSpec", "MergeTarget", "PendingLedger",
     "SharedMemExecutor", "TaskResult", "ThreadedExecutor",
-    "default_exec_workers", "fn_ref", "kernel_spec", "make_executor",
-    "resolve_kernel", "shm_residue",
+    "default_exec_workers", "effective_cpu_count", "fn_ref",
+    "kernel_spec", "make_executor", "resolve_kernel", "shm_residue",
 ]

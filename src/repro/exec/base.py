@@ -225,16 +225,35 @@ class Executor(abc.ABC):
         self.close()
 
 
-def default_exec_workers() -> int:
-    """Worker count when none is given: CPU count capped at 4 (the
-    figure configs rarely expose more independent compute nodes than
-    that per level)."""
+def effective_cpu_count() -> int:
+    """CPU cores this *process* may actually use.
+
+    Prefers ``os.process_cpu_count`` (Python 3.13+), then the
+    scheduling affinity mask (cgroup/taskset limits on CI runners),
+    then ``os.cpu_count``.  Benches use this to clamp worker sweeps:
+    a "speedup" measured with more workers than usable cores is noise.
+    """
     import os
-    return max(1, min(4, os.cpu_count() or 1))
+    getter = getattr(os, "process_cpu_count", None)
+    count = getter() if getter is not None else None
+    if not count:
+        try:
+            count = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            count = None
+    return max(1, count or os.cpu_count() or 1)
+
+
+def default_exec_workers() -> int:
+    """Worker count when none is given: usable CPU count capped at 4
+    (the figure configs rarely expose more independent compute nodes
+    than that per level)."""
+    return max(1, min(4, effective_cpu_count()))
 
 
 def make_executor(spec: str, workers: int | None = None) -> "Executor":
-    """Build a backend by name: ``inline``, ``threaded`` or ``shm``."""
+    """Build a backend by name: ``inline``, ``threaded``, ``shm`` or
+    ``dist``."""
     from repro.exec.inline import InlineExecutor
     from repro.exec.shm import SharedMemExecutor
     from repro.exec.threaded import ThreadedExecutor
@@ -248,9 +267,13 @@ def make_executor(spec: str, workers: int | None = None) -> "Executor":
         return ThreadedExecutor(workers=workers)
     if name in ("shm", "sharedmem", "shared-memory"):
         return SharedMemExecutor(workers=workers)
+    if name in ("dist", "distributed"):
+        from repro.dist.executor import DistExecutor
+        return DistExecutor(workers=workers)
     raise ExecError(
-        f"unknown executor backend {spec!r}; known: inline, threaded, shm")
+        f"unknown executor backend {spec!r}; known: inline, threaded, "
+        f"shm, dist")
 
 
 #: Backend names ``make_executor`` accepts, canonical form.
-EXEC_BACKENDS = ("inline", "threaded", "shm")
+EXEC_BACKENDS = ("inline", "threaded", "shm", "dist")

@@ -123,13 +123,22 @@ def run_sweep(scale_name: str, *, backends: tuple[str, ...] | None = None
     segments leak, or (on 4+ core hosts) if the best shm point misses
     :data:`TARGET_SPEEDUP` over inline.
     """
+    from repro.exec.base import effective_cpu_count
     from repro.exec.shm import shm_residue
 
     scale = SCALES[scale_name]
     if backends is None:
         backends = ("threaded", "shm")
+    # Sweeping more pool workers than this process can schedule on
+    # measures contention, not scaling: clamp the ladder to the usable
+    # core count and record what was skipped rather than reporting a
+    # misleading "speedup".
+    cores = effective_cpu_count()
+    requested = tuple(scale["workers"])
+    swept = tuple(w for w in requested if w <= cores) or (1,)
+    skipped = tuple(w for w in requested if w not in swept)
     points = [("inline", 1)]
-    points += [(b, w) for b in backends for w in scale["workers"]]
+    points += [(b, w) for b in backends for w in swept]
     rows = [run_case(b, w, scale) for b, w in points]
 
     ref = rows[0]
@@ -142,9 +151,12 @@ def run_sweep(scale_name: str, *, backends: tuple[str, ...] | None = None
     residue = shm_residue()
     assert not residue, f"leaked shared-memory segments: {residue}"
 
-    cores = os.cpu_count() or 1
     shm_rows = [r for r in rows if r["backend"] == "shm"]
     best_shm = min(shm_rows, key=lambda r: r["wall_s"]) if shm_rows else None
+    # A "speedup" from a pool that never got a second core is noise,
+    # not a measurement -- report None instead.
+    if cores < 2:
+        best_shm = None
     speedup = (ref["wall_s"] / best_shm["wall_s"]) if best_shm else 0.0
     # The floor only arms at full scale (ci kernels are too small for
     # pool overhead to amortise) on hosts with enough cores for the
@@ -159,7 +171,7 @@ def run_sweep(scale_name: str, *, backends: tuple[str, ...] | None = None
             f"{scale['gemm']['m']}^3 GEMM with {cores} cores "
             f"(target {TARGET_SPEEDUP}x)")
     g = scale["gemm"]
-    return {
+    payload = {
         "scale": scale_name,
         "case": f"gemm {g['m']}x{g['k']}x{g['n']} "
                 f"tile {g['tile']}, staging {scale['staging_mb']}MB",
@@ -176,6 +188,15 @@ def run_sweep(scale_name: str, *, backends: tuple[str, ...] | None = None
             "speedup_gate_active": gated,
         },
     }
+    # Only present on clamped hosts: the key's absence is the normal
+    # shape, so full-core runs match the committed baselines exactly.
+    if skipped or cores < 2:
+        clamped = (f"worker counts {list(skipped)} skipped"
+                   if skipped else "speedup suppressed")
+        payload["skipped_reason"] = (
+            f"{clamped}: only {cores} usable core(s) "
+            f"(swept {list(swept)} of requested {list(requested)})")
+    return payload
 
 
 def format_table(payload: dict) -> str:
@@ -190,9 +211,13 @@ def format_table(payload: dict) -> str:
             f"{row['merge_s']:>8.4f}")
     gate = ("asserted" if payload["meta"]["speedup_gate_active"]
             else f"not asserted (< {MIN_CORES_FOR_GATE} cores)")
+    best = payload["best_shm_speedup"]
+    best = f"{best}x over inline ({gate})" if best is not None \
+        else "n/a on this host"
     lines.append(f"results byte-identical, makespans bit-identical; "
-                 f"best shm speedup {payload['best_shm_speedup']}x "
-                 f"over inline ({gate})")
+                 f"best shm speedup {best}")
+    if "skipped_reason" in payload:
+        lines.append(f"note: {payload['skipped_reason']}")
     return "\n".join(lines)
 
 

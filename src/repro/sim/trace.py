@@ -69,6 +69,10 @@ class Phase(enum.Enum):
     IO_WRITE = "io_write"
     DEV_TRANSFER = "dev_transfer"
     MEM_COPY = "mem_copy"
+    #: Cross-worker shipment on the modeled network level
+    #: (:mod:`repro.memory.network`): boundary edges of a partitioned
+    #: task graph crossing between distributed workers.
+    NET_TRANSFER = "net_transfer"
     RUNTIME = "runtime"
     CACHE = "cache"
 
@@ -78,8 +82,8 @@ class Phase(enum.Enum):
 
     @property
     def is_transfer(self) -> bool:
-        return self in (Phase.IO_READ, Phase.IO_WRITE,
-                        Phase.DEV_TRANSFER, Phase.MEM_COPY)
+        return self in (Phase.IO_READ, Phase.IO_WRITE, Phase.DEV_TRANSFER,
+                        Phase.MEM_COPY, Phase.NET_TRANSFER)
 
     @property
     def is_compute(self) -> bool:

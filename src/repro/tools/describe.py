@@ -313,6 +313,62 @@ def _print_exec() -> int:
     return 0
 
 
+def _print_dist() -> int:
+    """Run a small GEMM under the distributed scheduler with a modeled
+    network and print the partitioning, boundary edges, shipment
+    charges, and the channel presets."""
+    from repro.core.system import System
+    from repro.dist import DistExecutor, DistributedScheduler, dist_residue
+    from repro.memory.network import NETWORK_PRESETS
+    from repro.memory.units import KB, MB
+
+    print("network channel presets:")
+    for name, ch in sorted(NETWORK_PRESETS.items()):
+        print(f"  {name:<10} {ch.bandwidth / 1e9:.1f} GB/s, "
+              f"latency {ch.latency * 1e6:.1f}us, "
+              f"per-message {ch.per_message * 1e6:.1f}us"
+              f"{'' if ch.duplex else ', half-duplex'}")
+
+    from repro.apps.gemm import GemmApp
+    tree = builders.apu_two_level(storage_capacity=8 * MB,
+                                  staging_bytes=256 * KB)
+    tree.attach_network(NETWORK_PRESETS["loopback"])
+    executor = DistExecutor(workers=2)
+    sched = DistributedScheduler(keep_plans=True)
+    system = System(tree, executor=executor)
+    try:
+        print("\ndistributed demo (gemm 128x128x128, 2 workers, "
+              "loopback network):")
+        print(tree.render())
+        app = GemmApp(system, m=128, k=128, n=128, seed=3)
+        app.run(system, scheduler=sched)
+        parts = sched.partitionings[0]
+        stats = parts.stats()
+        print(f"  partitioning: {stats['workers']} partitions "
+              f"({stats['strategy']}), nodes per partition "
+              f"{stats['nodes_per_partition']}")
+        print(f"  boundary edges: {stats['boundary_edges']} "
+              f"({stats['boundary_by_kind']})")
+        net = sched.plans[0].graph.meta.get("network")
+        if net:
+            print(f"  network: {net['shipments']} shipments, "
+                  f"{net['bytes']} payload bytes, "
+                  f"{net['seconds'] * 1e6:.1f}us charged on "
+                  f"{net['channel']['name']}")
+        print(f"  makespan {system.makespan():.6f}s (virtual); per-worker "
+              f"kernels: {dict(sorted(executor.stats.worker_tasks.items()))}")
+    except NorthupError as exc:
+        print(f"dist demo failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        system.close()
+        executor.close()
+    residue = dist_residue()
+    print(f"  worker-process residue after teardown: "
+          f"{residue if residue else 'none'}")
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -364,6 +420,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(inline, threaded, shm) and print executor "
                              "configs, worker occupancy, and the "
                              "cross-backend equivalence check")
+    parser.add_argument("--dist", action="store_true",
+                        help="run a small demo under the distributed "
+                             "scheduler (2 pinned worker processes, "
+                             "modeled loopback network) and print the "
+                             "partitioning, boundary edges, shipment "
+                             "charges, and channel presets")
     parser.add_argument("--plan", metavar="NAME", nargs="?", const="apu",
                         help="lower the example programs on a topology "
                              "(default apu) and dump each level's task "
@@ -391,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_serve()
     if args.exec_:
         return _print_exec()
+    if args.dist:
+        return _print_dist()
     if args.plan:
         return _print_plan(args.plan)
     parser.print_help()

@@ -24,3 +24,17 @@ def scale_offset(block, *, factor):
 def boom(x):
     """A kernel that always fails."""
     raise RuntimeError("kernel exploded")
+
+
+def die(x):
+    """Hard-kill the worker process mid-kernel -- no exception, no ack,
+    just a torn pipe (the dist crash-handling tests)."""
+    import os
+    os._exit(13)
+
+
+def snooze(x, *, seconds):
+    """Sleep through the coordinator's join timeout (hung-worker
+    tests)."""
+    import time
+    time.sleep(seconds)

@@ -91,6 +91,76 @@ def test_drain_zombies_settles_only_the_requested_node():
     assert freed == ["near", "far"]
 
 
+# -- out-of-submission-order settles -----------------------------------------
+#
+# A consumer may settle any pending op first (fetch of a late chunk,
+# capacity-wall zombie drain); the dependency chains must still replay
+# every earlier effect in submission order before the requested one.
+
+def test_completing_last_op_first_replays_chain_in_submission_order():
+    led = PendingLedger()
+    order = []
+    a, b, c = (1, 1), (1, 2), (1, 3)
+    led.defer_copy(lambda: order.append("w(a)"), reads=[], writes=[a],
+                   deps=[])
+    led.defer_copy(lambda: order.append("a->b"), reads=[a], writes=[b],
+                   deps=led.conflicting(reads=(a,)))
+    led.defer_copy(lambda: order.append("b->c"), reads=[b], writes=[c],
+                   deps=led.conflicting(reads=(b,)))
+    # Settle the *last* link first: both uphill ops must run, oldest
+    # first, exactly as the inline path would have ordered the bytes.
+    led.complete(led.conflicting(writes=(c,))[0])
+    assert order == ["w(a)", "a->b", "b->c"]
+    assert not led.active
+
+
+def test_deferred_free_survives_out_of_order_settles():
+    led = PendingLedger()
+    order = []
+    freed = []
+    s = (1, 1)
+    led.defer_copy(lambda: order.append("write"), reads=[], writes=[s],
+                   deps=[])
+    writer = led.conflicting(reads=(s,))
+    led.defer_copy(lambda: order.append("read1"), reads=[s], writes=[],
+                   deps=list(writer))
+    led.defer_copy(lambda: order.append("read2"), reads=[s], writes=[],
+                   deps=list(writer))
+    led.defer_free(s, lambda: freed.append(s))
+    # Settling the *second* reader pulls in the writer but must not
+    # fire the free: the first reader still needs the slab's bytes.
+    reader2 = [op for op in led.conflicting(writes=(s,))][-1]
+    led.complete(reader2)
+    assert order == ["write", "read2"]
+    assert not freed
+    led.drain_all()
+    assert order == ["write", "read2", "read1"]
+    assert freed == [s]
+    assert led.zombie_frees == 1
+
+
+def test_conflicting_transfer_settled_first_runs_predecessors():
+    """A move_down overwriting a slab a deferred move_up still reads:
+    completing the overwrite first must run the pending transfer (and
+    the merge it depends on) before clobbering the bytes."""
+    led = PendingLedger()
+    order = []
+    staging, up = (1, 1), (0, 1)
+    led.defer_copy(lambda: order.append("merge"), reads=[], writes=[staging],
+                   deps=[])
+    led.defer_copy(lambda: order.append("move_up"), reads=[staging],
+                   writes=[up], deps=led.conflicting(reads=(staging,)))
+    # Next chunk's move_down conflicts with *everything* pending on the
+    # staging slab (readers and writers), in submission order.
+    deps = led.conflicting(writes=(staging,))
+    assert [type(d).__name__ for d in deps] == ["_CopyOp", "_CopyOp"]
+    led.defer_copy(lambda: order.append("move_down"), reads=[],
+                   writes=[staging], deps=deps)
+    led.complete(led.conflicting(writes=(staging,))[-1])
+    assert order == ["merge", "move_up", "move_down"]
+    assert not led.active
+
+
 # -- ledger wired into a live system -----------------------------------------
 
 @pytest.fixture
@@ -142,6 +212,21 @@ def test_release_during_pending_work_credits_capacity_immediately(sys_async):
     sys_async.drain_exec()
     assert led.zombie_frees == 1
     assert not led.active
+
+
+def test_stacked_async_writers_merge_in_submission_order(sys_async):
+    """Two kernels writing the same buffer: whichever thread finishes
+    first, the merge replay must leave the *later submission's* bytes."""
+    leaf = sys_async.tree.leaves()[0]
+    buf = sys_async.alloc(1024, leaf)
+    sys_async.preload(buf, np.zeros(256, dtype=np.float32))
+    _launch_fill(sys_async, leaf, buf, 256, 3.0)
+    _launch_fill(sys_async, leaf, buf, 256, 9.0)
+    led = sys_async._ledger
+    assert led.kernels == 2
+    out = sys_async.fetch(buf, np.float32)
+    np.testing.assert_array_equal(out, np.full(256, 9.0, np.float32))
+    assert led.merged == 2
 
 
 def test_end_run_settles_everything(sys_async):
