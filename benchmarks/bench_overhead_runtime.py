@@ -6,7 +6,9 @@ management.
 
 Also gates the observability layer's own overhead: span tracing must
 cost under a few percent of wall time when on, and exactly zero span
-allocations when off.
+allocations when off.  The physical telemetry plane gets the same
+treatment: telemetry on must stay within a few percent of wall time,
+and telemetry off must allocate no buffers and ship bare acks.
 """
 
 import statistics
@@ -88,6 +90,84 @@ def test_observability_overhead(report):
            f"gemm 512^3 (~{off * 1e3:.1f} ms, {spans} spans):\n"
            f"  open/close pair cost   {pair_cost * 1e6:9.3f} us\n"
            f"  span-tracing overhead  {amortised:+9.2%}  (budget < 3%)\n"
+           f"  raw on/off A/B delta   {ab:+9.2%}  (noise-dominated, "
+           f"sanity bound < 15%)")
+    assert amortised < 0.03
+    assert ab < 0.15
+
+
+def _timed_gemm_telemetry(telemetry: bool) -> float:
+    """Wall time of one GEMM run with/without physical telemetry."""
+    from repro.apps import GemmApp
+    from repro.core.system import System
+    from repro.memory.units import MB
+    from repro.topology.builders import apu_two_level
+
+    system = System(apu_two_level(storage_capacity=256 * MB,
+                                  staging_bytes=1 * MB),
+                    telemetry=telemetry)
+    try:
+        t0 = time.perf_counter()
+        GemmApp(system, m=512, k=512, n=512, seed=2).run(system)
+        return time.perf_counter() - t0
+    finally:
+        system.close()
+
+
+def test_telemetry_overhead(report):
+    """Physical telemetry costs under 3% of a run's wall time when on,
+    and the disabled path allocates no telemetry objects at all.
+
+    As for spans, the asserted figure is amortised: (records taken in a
+    real run) x (measured per-record cost) / (run wall time); the raw
+    A/B ratio is reported but only loosely bounded (shared-runner
+    noise)."""
+    from repro.obs.phys import PhysTelemetry, TelemetryBuffer
+
+    _timed_gemm_telemetry(True)  # warm imports and caches off the clock
+
+    buffers_before = TelemetryBuffer.allocated
+    stores_before = PhysTelemetry.allocated
+    off = _timed_gemm_telemetry(False)
+    assert TelemetryBuffer.allocated == buffers_before   # off: no buffers
+    assert PhysTelemetry.allocated == stores_before      # off: no stores
+
+    on = _timed_gemm_telemetry(True)
+    assert PhysTelemetry.allocated > stores_before       # on: store exists
+
+    # Per-record cost, measured on a live buffer.
+    buf = TelemetryBuffer("bench")
+    n = 100_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        buf.record("kernel", i, i + 1, i, 0)
+    record_cost = (time.perf_counter() - t0) / n
+
+    # How many records a real run takes: count them on an instrumented
+    # system kept open past its run.
+    from repro.apps import GemmApp
+    from repro.core.system import System
+    from repro.memory.units import MB
+    from repro.topology.builders import apu_two_level
+    sys2 = System(apu_two_level(storage_capacity=256 * MB,
+                                staging_bytes=1 * MB), telemetry=True)
+    try:
+        GemmApp(sys2, m=512, k=512, n=512, seed=2).run(sys2)
+        records = max(1, sum(len(r) for r in
+                             sys2.executor.telemetry.records.values()))
+    finally:
+        sys2.close()
+
+    amortised = records * record_cost / min(on, off)
+    ratios = []
+    for _ in range(5):
+        ratios.append(_timed_gemm_telemetry(True)
+                      / _timed_gemm_telemetry(False))
+    ab = statistics.median(ratios) - 1
+    report("overhead_telemetry",
+           f"gemm 512^3 (~{off * 1e3:.1f} ms, {records} records):\n"
+           f"  per-record cost        {record_cost * 1e9:9.1f} ns\n"
+           f"  telemetry overhead     {amortised:+9.2%}  (budget < 3%)\n"
            f"  raw on/off A/B delta   {ab:+9.2%}  (noise-dominated, "
            f"sanity bound < 15%)")
     assert amortised < 0.03

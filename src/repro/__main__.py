@@ -6,6 +6,7 @@ Subcommands::
     python -m repro regress BASE NEW     # perf-regression gate
     python -m repro describe --plan      # dump lowered task graphs etc.
     python -m repro serve-bench          # multi-tenant serve throughput
+    python -m repro top URL              # live dashboard over /status
     python -m repro exec-bench           # compute-backend scaling sweep
     python -m repro dist-bench           # distributed scaling + equivalence
     python -m repro [evaluate args...]   # default: repro.tools.evaluate
@@ -30,6 +31,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "serve-bench":
         from repro.serve.bench import main as serve_bench_main
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.obs.live import top_main
+        return top_main(argv[1:])
     if argv and argv[0] == "exec-bench":
         from repro.exec.bench import main as exec_bench_main
         return exec_bench_main(argv[1:])

@@ -163,7 +163,8 @@ class System:
                  cache: CacheConfig | None = None,
                  zero_copy: bool = True,
                  observe: bool = True,
-                 executor: "Executor | str | None" = None) -> None:
+                 executor: "Executor | str | None" = None,
+                 telemetry: bool = False) -> None:
         self.tree = tree
         #: Route physical byte movement through the zero-copy data plane
         #: (``Device.copy_into`` view/pooled-fd/vectored paths).  False
@@ -203,9 +204,16 @@ class System:
         if executor is None:
             executor = InlineExecutor()
         elif isinstance(executor, str):
-            executor = make_executor(executor)
+            # Telemetry must be decided before the backend forks its
+            # worker pool (the worker side buffers only when told at
+            # spawn), so it rides into the factory.
+            executor = make_executor(executor, telemetry=telemetry)
         #: The compute backend kernel specs dispatch through.
         self.executor: Executor = executor
+        if telemetry:
+            # Physical telemetry plane (:mod:`repro.obs.phys`): wall
+            # timing only -- virtual results stay bit-identical.
+            self.executor.enable_telemetry()
         self.cache = CacheManager(self, cache or CacheConfig())
         #: Memoized per-edge charging recipes; the topology is immutable
         #: after validation, so these never need invalidating.
@@ -1043,6 +1051,10 @@ class System:
         pending merge with the ledger keyed on the output slabs."""
         ex = self.executor
         led = self._ledger
+        if ex.telemetry is not None:
+            # Bind the ambient virtual span: merged physical traces
+            # join kernel records back to it (0 = no active span).
+            ex.telemetry.current_span = self.obs.current.span_id
         if not ex.asynchronous:
             if led.active:
                 slabs = [(b.handle.node_id, b.handle.alloc_id)
@@ -1112,9 +1124,18 @@ class System:
         fn = resolve_kernel(spec.fn_ref)
         ex.stats.submitted += 1
         ex.stats.dispatch_seconds += time.perf_counter() - t0
-        t1 = time.perf_counter()
-        fn(**args, **spec.kwargs)
-        ex.stats.note_done("main", time.perf_counter() - t1)
+        tel = ex.telemetry
+        if tel is None:
+            t1 = time.perf_counter()
+            fn(**args, **spec.kwargs)
+            ex.stats.note_done("main", time.perf_counter() - t1)
+        else:
+            k0 = time.perf_counter_ns()
+            fn(**args, **spec.kwargs)
+            k1 = time.perf_counter_ns()
+            ex.stats.note_done("main", (k1 - k0) / 1e9)
+            tel.note_inline("main", "kernel", k0, k1,
+                            nbytes=sum(a.nbytes for a in args.values()))
         for b, arr in writebacks:
             self.preload(b.handle, arr, b.offset)
 

@@ -37,7 +37,8 @@ import time
 import weakref
 from multiprocessing.connection import wait as conn_wait
 
-from repro.dist.protocol import SHUTDOWN, CompletionAck, TaskGrant
+from repro.dist.protocol import SHUTDOWN, CompletionAck, Heartbeat, \
+    TaskGrant
 from repro.dist.worker import dist_worker_main
 from repro.exec.base import ExecError, Executor, TaskResult
 
@@ -86,9 +87,14 @@ class DistExecutor(Executor):
     asynchronous = True
 
     def __init__(self, workers: int | None = None, *,
-                 join_timeout: float = 120.0) -> None:
+                 join_timeout: float = 120.0, telemetry: bool = False,
+                 heartbeat_s: float = 0.0) -> None:
         from repro.exec.base import default_exec_workers
-        super().__init__(workers=workers or default_exec_workers())
+        super().__init__(workers=workers or default_exec_workers(),
+                         telemetry=telemetry)
+        #: Idle-worker heartbeat period (seconds); 0 disables.  Only
+        #: meaningful with telemetry on -- the beats feed the watchdog.
+        self.heartbeat_s = heartbeat_s if telemetry else 0.0
         #: Upper bound on any single blocking operation against a
         #: worker (wait for one ack, close-time join): the coordinator
         #: surfaces a clean error instead of deadlocking on a hung
@@ -101,7 +107,9 @@ class DistExecutor(Executor):
         self._procs = []
         for i in range(self.workers):
             parent, child = ctx.Pipe(duplex=True)
-            proc = ctx.Process(target=dist_worker_main, args=(i, child),
+            proc = ctx.Process(target=dist_worker_main,
+                               args=(i, child, self.telemetry is not None,
+                                     self.heartbeat_s),
                                name=f"repro-dist-{i}", daemon=True)
             proc.start()
             child.close()           # the worker owns its end now
@@ -139,9 +147,12 @@ class DistExecutor(Executor):
         self._pin = partition
 
     def set_task_context(self, *, node_id: int = -1,
-                         partition: int = -1) -> None:
+                         partition: int = -1, span_id: int = 0) -> None:
         """Attribution for the next submits: the task-graph node and
-        partition a failure message should name."""
+        partition a failure message should name (and, telemetry on, the
+        virtual span physical kernel records join against)."""
+        super().set_task_context(node_id=node_id, partition=partition,
+                                 span_id=span_id)
         self._ctx_node = node_id
         self._ctx_part = partition
 
@@ -172,6 +183,8 @@ class DistExecutor(Executor):
         for _name, arr, _writable in arrays:
             self.stats.bytes_in += arr.nbytes
         self._pending[ticket] = pending
+        if self.telemetry is not None:
+            self.telemetry.note_submit(ticket)
         self._out[worker].put(grant)
         self.stats.submitted += 1
         return ticket
@@ -184,6 +197,11 @@ class DistExecutor(Executor):
             if msg is None:
                 return
             try:
+                if self.telemetry is not None and \
+                        isinstance(msg, TaskGrant):
+                    # Stamp as close to the wire as possible: this is
+                    # the t_sent half of the ticket's NTP clock sample.
+                    self.telemetry.note_grant_sent(msg.ticket)
                 conn.send(msg)
             except (BrokenPipeError, OSError):
                 # Worker (or pipe) gone; the receive side sees the EOF
@@ -222,8 +240,29 @@ class DistExecutor(Executor):
             except (EOFError, OSError):
                 self._mark_dead(worker)
                 continue
+            if isinstance(ack, Heartbeat):
+                if self.telemetry is not None:
+                    self.telemetry.heartbeat(f"w{ack.worker}", ack.t_ns,
+                                             ack.rss)
+                continue
             assert isinstance(ack, CompletionAck)
+            if self.telemetry is not None:
+                now = time.perf_counter_ns()
+                sent = self.telemetry.grant_sent.get(ack.ticket)
+                clock = ((sent, ack.t_recv_ns, ack.t_ack_ns, now)
+                         if sent is not None and ack.t_recv_ns else None)
+                self.telemetry.note_ack(
+                    f"w{ack.worker}", ack.ticket,
+                    records=ack.telemetry or (), clock=clock,
+                    phases=ack.phases, seconds=ack.seconds, recv_ns=now)
             self._done[ack.ticket] = ack
+
+    def poll(self) -> None:
+        """Drain waiting worker messages without blocking.  Idle
+        heartbeats only arrive when someone reads the pipe; status
+        loops call this so the watchdog's liveness map stays current
+        between in-flight tickets."""
+        self._pump(time.monotonic())
 
     def wait(self, ticket):
         deadline = time.monotonic() + self.join_timeout
@@ -293,14 +332,19 @@ class DistExecutor(Executor):
 
 
 def dist_residue() -> list[str]:
-    """Live dist worker processes of this coordinator (empty after
-    proper teardown -- the lifecycle tests assert on it)."""
+    """Live dist worker processes plus unclosed telemetry aggregators
+    of this coordinator (empty after proper teardown -- the lifecycle
+    tests assert on it)."""
     out = []
     for ex in list(_LIVE):
         for p in ex._procs:
             if p.is_alive():
                 out.append(p.name)
-    return sorted(out)
+    try:
+        from repro.obs.phys import telemetry_residue
+    except ImportError:          # pragma: no cover - obs always ships
+        return sorted(out)
+    return sorted(out + telemetry_residue("dist"))
 
 
 __all__ = ["DistExecutor", "dist_residue"]

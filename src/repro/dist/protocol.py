@@ -45,7 +45,12 @@ class TaskGrant:
 
 @dataclass
 class CompletionAck:
-    """A worker's reply for one grant."""
+    """A worker's reply for one grant.
+
+    The telemetry fields stay at their ``None``/``0`` defaults unless
+    the worker was started with telemetry on -- the zero-overhead-off
+    contract: bare acks never carry a payload.
+    """
 
     ticket: int
     worker: int
@@ -54,3 +59,23 @@ class CompletionAck:
     error: str | None = None
     #: name -> array for every writable operand (the shipment back up).
     outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Sub-phase split of ``seconds`` (unpickle/setup/kernel seconds).
+    phases: dict | None = None
+    #: Drained :class:`~repro.obs.phys.TelemetryBuffer` records
+    #: piggybacking home on this ack (worker-clock ns).
+    telemetry: list | None = None
+    #: Worker ``perf_counter_ns`` when the grant bytes arrived / when
+    #: this ack left -- one NTP-style clock sample per round trip.
+    t_recv_ns: int = 0
+    t_ack_ns: int = 0
+
+
+@dataclass
+class Heartbeat:
+    """Worker -> coordinator liveness beat (telemetry mode, idle
+    workers only): the watchdog's signal that a silent worker is idle
+    rather than wedged."""
+
+    worker: int
+    t_ns: int
+    rss: int = 0

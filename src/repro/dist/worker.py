@@ -19,15 +19,33 @@ coordinator detects the EOF and fails that partition's tickets cleanly
 from __future__ import annotations
 
 import traceback
-from time import perf_counter
+from time import perf_counter, perf_counter_ns
 
-from repro.dist.protocol import SHUTDOWN, CompletionAck, TaskGrant
+from repro.dist.protocol import SHUTDOWN, CompletionAck, Heartbeat, \
+    TaskGrant
 
 
-def dist_worker_main(worker_id: int, conn) -> None:
-    """Serve grants on ``conn`` until shutdown or EOF."""
+def dist_worker_main(worker_id: int, conn, telemetry: bool = False,
+                     heartbeat_s: float = 0.0) -> None:
+    """Serve grants on ``conn`` until shutdown or EOF.
+
+    With ``telemetry`` on the worker splits each grant into its
+    unpickle / setup / kernel / ack-send sub-phases (the "worker busy
+    but kernel idle" attribution hole), stamps its local clock on
+    receipt and reply (the coordinator's NTP sample), and ships its
+    drained :class:`~repro.obs.phys.TelemetryBuffer` inside the ack.
+    The ack's own pickling+send time cannot ride the ack being sent, so
+    it is buffered and flushes piggybacked on the *next* ack.  With
+    ``heartbeat_s > 0`` an idle worker beats on that period so the
+    watchdog can tell idle from wedged.  Telemetry off keeps the
+    historical loop untouched.
+    """
     from repro.exec.base import resolve_kernel
 
+    if telemetry:
+        _dist_worker_telemetry(worker_id, conn, resolve_kernel,
+                               heartbeat_s)
+        return
     while True:
         try:
             msg = conn.recv()
@@ -58,6 +76,83 @@ def dist_worker_main(worker_id: int, conn) -> None:
                                 error=traceback.format_exc())
         try:
             conn.send(ack)
+        except (BrokenPipeError, OSError):   # coordinator gone
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _dist_worker_telemetry(worker_id: int, conn, resolve_kernel,
+                           heartbeat_s: float) -> None:
+    """The instrumented grant loop (see :func:`dist_worker_main`)."""
+    import pickle
+
+    from repro.obs.phys import TelemetryBuffer, rss_bytes
+
+    buf = TelemetryBuffer(f"w{worker_id}")
+    while True:
+        try:
+            # Idle wait: beat on the heartbeat period until traffic.
+            while heartbeat_s > 0 and not conn.poll(heartbeat_s):
+                conn.send(Heartbeat(worker=worker_id,
+                                    t_ns=buf.heartbeat(),
+                                    rss=rss_bytes()))
+            # recv_bytes + explicit loads instead of conn.recv(): same
+            # framing (send(obj) is send_bytes(dumps(obj))), but the
+            # unpickle -- the slab shipment's landing cost -- times
+            # separately from the pipe wait.
+            raw = conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError):
+            break
+        t_recv = perf_counter_ns()
+        msg = pickle.loads(raw)
+        u1 = perf_counter_ns()
+        if msg is None or msg == SHUTDOWN:
+            break
+        assert isinstance(msg, TaskGrant), f"unexpected message {msg!r}"
+        buf.record("unpickle", t_recv, u1, msg.ticket, len(raw))
+        phases = {"unpickle": (u1 - t_recv) / 1e9}
+        try:
+            fn = resolve_kernel(msg.fn_ref)
+            args = {}
+            outputs = {}
+            nbytes = 0
+            for name, arr, writable in msg.operands:
+                if writable:
+                    outputs[name] = arr
+                else:
+                    arr = arr.view()
+                    arr.flags.writeable = False
+                args[name] = arr
+                nbytes += arr.nbytes
+            k0 = perf_counter_ns()
+            buf.record("setup", u1, k0, msg.ticket, 0)
+            phases["setup"] = (k0 - u1) / 1e9
+            fn(**args, **msg.kwargs)
+            k1 = perf_counter_ns()
+            buf.record("kernel", k0, k1, msg.ticket, nbytes)
+            buf.record_rss(msg.ticket)
+            phases["kernel"] = (k1 - k0) / 1e9
+            ack = CompletionAck(ticket=msg.ticket, worker=worker_id,
+                                seconds=(k1 - u1) / 1e9,
+                                outputs=outputs, phases=phases)
+        except BaseException:
+            ack = CompletionAck(ticket=msg.ticket, worker=worker_id,
+                                seconds=(perf_counter_ns() - u1) / 1e9,
+                                error=traceback.format_exc(),
+                                phases=phases)
+        ack.telemetry = buf.drain()
+        ack.t_recv_ns = t_recv
+        try:
+            p0 = ack.t_ack_ns = perf_counter_ns()
+            data = pickle.dumps(ack)
+            conn.send_bytes(data)
+            # The ack's own cost flushes with the *next* ack (residual
+            # records at shutdown are simply dropped).
+            buf.record("send", p0, perf_counter_ns(), msg.ticket,
+                       len(data))
         except (BrokenPipeError, OSError):   # coordinator gone
             break
     try:

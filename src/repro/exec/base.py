@@ -193,10 +193,41 @@ class Executor(abc.ABC):
     #: must snapshot operands and merge results through the ledger.
     asynchronous = False
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, telemetry: bool = False) -> None:
         self.workers = max(1, int(workers))
         self.stats = ExecStats()
         self.closed = False
+        #: Physical telemetry aggregator (:mod:`repro.obs.phys`), or
+        #: ``None`` -- the default.  Strictly opt-in: when None, no
+        #: buffer is allocated anywhere and workers send bare acks.
+        self.telemetry = None
+        if telemetry:
+            self.enable_telemetry()
+
+    def enable_telemetry(self) -> None:
+        """Attach a :class:`~repro.obs.phys.PhysTelemetry` aggregator
+        (idempotent).  Must run before worker pools fork so the worker
+        side knows to buffer; backends therefore pass ``telemetry=``
+        at construction rather than calling this late."""
+        if self.telemetry is None:
+            # Lazy import: repro.obs pulls in the reporting stack, and
+            # the core imports this module at startup.
+            from repro.obs.phys import PhysTelemetry
+            self.telemetry = PhysTelemetry(backend=self.name)
+
+    def set_task_context(self, *, node_id: int = -1, partition: int = -1,
+                         span_id: int = 0) -> None:
+        """Attribution for subsequent submits: the task-graph node,
+        partition and virtual span telemetry records should carry.
+        Bare calls reset node/partition (the distributed runner's
+        convention) but keep the span -- the System re-pokes it per
+        dispatch."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.current_node = node_id
+            tel.current_partition = partition
+            if span_id:
+                tel.current_span = span_id
 
     @abc.abstractmethod
     def submit(self, ref: str,
@@ -214,6 +245,8 @@ class Executor(abc.ABC):
 
     def close(self) -> None:
         self.closed = True
+        if self.telemetry is not None:
+            self.telemetry.close()
 
     def describe(self) -> str:
         return f"{self.name}(workers={self.workers})"
@@ -251,7 +284,8 @@ def default_exec_workers() -> int:
     return max(1, min(4, effective_cpu_count()))
 
 
-def make_executor(spec: str, workers: int | None = None) -> "Executor":
+def make_executor(spec: str, workers: int | None = None, *,
+                  telemetry: bool = False) -> "Executor":
     """Build a backend by name: ``inline``, ``threaded``, ``shm`` or
     ``dist``."""
     from repro.exec.inline import InlineExecutor
@@ -262,14 +296,14 @@ def make_executor(spec: str, workers: int | None = None) -> "Executor":
     if workers is None:
         workers = default_exec_workers()
     if name == "inline":
-        return InlineExecutor()
+        return InlineExecutor(telemetry=telemetry)
     if name == "threaded":
-        return ThreadedExecutor(workers=workers)
+        return ThreadedExecutor(workers=workers, telemetry=telemetry)
     if name in ("shm", "sharedmem", "shared-memory"):
-        return SharedMemExecutor(workers=workers)
+        return SharedMemExecutor(workers=workers, telemetry=telemetry)
     if name in ("dist", "distributed"):
         from repro.dist.executor import DistExecutor
-        return DistExecutor(workers=workers)
+        return DistExecutor(workers=workers, telemetry=telemetry)
     raise ExecError(
         f"unknown executor backend {spec!r}; known: inline, threaded, "
         f"shm, dist")

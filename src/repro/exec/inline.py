@@ -27,8 +27,8 @@ class InlineExecutor(Executor):
     name = "inline"
     asynchronous = False
 
-    def __init__(self) -> None:
-        super().__init__(workers=1)
+    def __init__(self, *, telemetry: bool = False) -> None:
+        super().__init__(workers=1, telemetry=telemetry)
         self._results: dict[int, TaskResult] = {}
         self._next = 0
 
@@ -37,9 +37,18 @@ class InlineExecutor(Executor):
             raise ExecError("executor is closed")
         fn = resolve_kernel(ref)
         args = {name: arr for name, arr, _w in arrays}
-        t0 = time.perf_counter()
-        fn(**args, **kwargs)
-        dt = time.perf_counter() - t0
+        tel = self.telemetry
+        if tel is None:
+            t0 = time.perf_counter()
+            fn(**args, **kwargs)
+            dt = time.perf_counter() - t0
+        else:
+            k0 = time.perf_counter_ns()
+            fn(**args, **kwargs)
+            k1 = time.perf_counter_ns()
+            dt = (k1 - k0) / 1e9
+            tel.note_inline("main", "kernel", k0, k1,
+                            nbytes=sum(a.nbytes for _n, a, _w in arrays))
         self._next += 1
         ticket = self._next
         self.stats.submitted += 1

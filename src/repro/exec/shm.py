@@ -105,9 +105,11 @@ class SharedMemExecutor(Executor):
     name = "shm"
     asynchronous = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, *,
+                 telemetry: bool = False) -> None:
         from repro.exec.base import default_exec_workers
-        super().__init__(workers=workers or default_exec_workers())
+        super().__init__(workers=workers or default_exec_workers(),
+                         telemetry=telemetry)
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(method)
         # The resource tracker must predate the workers so they inherit
@@ -118,8 +120,9 @@ class SharedMemExecutor(Executor):
         self._tasks = ctx.Queue()
         self._replies = ctx.Queue()
         self._procs = [
-            ctx.Process(target=worker_main, args=(i, self._tasks,
-                                                  self._replies),
+            ctx.Process(target=worker_main,
+                        args=(i, self._tasks, self._replies,
+                              self.telemetry is not None),
                         name=f"repro-exec-{i}", daemon=True)
             for i in range(self.workers)]
         for p in self._procs:
@@ -151,19 +154,38 @@ class SharedMemExecutor(Executor):
             self.stats.bytes_in += arr.nbytes
         self._inflight[ticket] = bound
         self.stats.submitted += 1
+        if self.telemetry is not None:
+            self.telemetry.note_submit(ticket)
+            self.telemetry.note_grant_sent(ticket)
         self._tasks.put((ticket, ref, descriptors, kwargs))
         return ticket
 
     def _collect(self, ticket: int) -> tuple:
         while ticket not in self._done:
             try:
-                tid, worker, seconds, err = self._replies.get(timeout=1.0)
+                reply = self._replies.get(timeout=1.0)
             except Exception:
                 if not any(p.is_alive() for p in self._procs):
                     raise ExecError(
                         "every shm worker died before the task completed"
                     ) from None
                 continue
+            # Telemetry-on workers append a 5th payload element; the
+            # off-path reply stays the historical 4-tuple.
+            tid, worker, seconds, err = reply[:4]
+            if len(reply) > 4 and self.telemetry is not None:
+                records, t_recv, t_reply = reply[4]
+                now = time.perf_counter_ns()
+                sent = self.telemetry.grant_sent.get(tid)
+                clock = ((sent, t_recv, t_reply, now)
+                         if sent is not None else None)
+                phases = {k: (t1 - t0) / 1e9
+                          for k, t0, t1, t, _n in records
+                          if t == tid and k in ("setup", "kernel")}
+                self.telemetry.note_ack(f"w{worker}", tid,
+                                        records=records, clock=clock,
+                                        phases=phases, seconds=seconds,
+                                        recv_ns=now)
             self._done[tid] = (worker, seconds, err)
         return self._done.pop(ticket)
 
@@ -224,9 +246,15 @@ class SharedMemExecutor(Executor):
 
 
 def shm_residue() -> list[str]:
-    """Names of this process's leftover segments under ``/dev/shm``
-    (empty after proper teardown -- the lifecycle tests assert on it)."""
+    """Leftover pool resources of this process: segments still under
+    ``/dev/shm`` plus unclosed telemetry aggregators (empty after
+    proper teardown -- the lifecycle tests assert on it)."""
     root = "/dev/shm"
-    if not os.path.isdir(root):
-        return []
-    return sorted(n for n in os.listdir(root) if n.startswith(SHM_PREFIX))
+    out = []
+    if os.path.isdir(root):
+        out = [n for n in os.listdir(root) if n.startswith(SHM_PREFIX)]
+    try:
+        from repro.obs.phys import telemetry_residue
+    except ImportError:          # pragma: no cover - obs always ships
+        return sorted(out)
+    return sorted(out + telemetry_residue("shm"))

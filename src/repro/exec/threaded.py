@@ -24,23 +24,27 @@ class ThreadedExecutor(Executor):
     name = "threaded"
     asynchronous = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, *,
+                 telemetry: bool = False) -> None:
         from repro.exec.base import default_exec_workers
-        super().__init__(workers=workers or default_exec_workers())
+        super().__init__(workers=workers or default_exec_workers(),
+                         telemetry=telemetry)
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-exec")
-        self._futures: dict[int, tuple[Future, dict[str, np.ndarray]]] = {}
+        self._futures: dict[
+            int, tuple[Future, dict[str, np.ndarray], int]] = {}
         self._next = 0
         self._lock = threading.Lock()
 
     @staticmethod
-    def _run(ref: str, args: dict, kwargs: dict) -> tuple[str, float]:
+    def _run(ref: str, args: dict,
+             kwargs: dict) -> tuple[str, float, int, int]:
         fn = resolve_kernel(ref)
-        t0 = time.perf_counter()
+        t0 = time.perf_counter_ns()
         fn(**args, **kwargs)
-        dt = time.perf_counter() - t0
+        t1 = time.perf_counter_ns()
         worker = threading.current_thread().name
-        return worker.rsplit("_", 1)[-1], dt
+        return worker.rsplit("_", 1)[-1], (t1 - t0) / 1e9, t0, t1
 
     def submit(self, ref, arrays, kwargs, label=""):
         if self.closed:
@@ -58,24 +62,35 @@ class ThreadedExecutor(Executor):
             self._next += 1
             ticket = self._next
         self.stats.submitted += 1
-        self.stats.bytes_in += sum(a.nbytes for a in args.values())
+        nbytes = sum(a.nbytes for a in args.values())
+        self.stats.bytes_in += nbytes
+        if self.telemetry is not None:
+            # Bind the ambient span/node context now; the kernel record
+            # joins on the ticket at wait time.
+            self.telemetry.note_submit(ticket)
         fut = self._pool.submit(self._run, ref, args, kwargs)
-        self._futures[ticket] = (fut, outputs)
+        self._futures[ticket] = (fut, outputs, nbytes)
         return ticket
 
     def wait(self, ticket):
         try:
-            fut, outputs = self._futures[ticket]
+            fut, outputs, nbytes = self._futures[ticket]
         except KeyError:
             raise ExecError(f"unknown ticket {ticket}") from None
         try:
-            worker, dt = fut.result()
+            worker, dt, t0, t1 = fut.result()
         except ExecError:
             raise
         except BaseException as exc:
             raise ExecError(f"threaded kernel failed: {exc!r}") from exc
         self.stats.note_done(f"t{worker}", dt)
         self.stats.bytes_out += sum(a.nbytes for a in outputs.values())
+        tel = self.telemetry
+        if tel is not None:
+            # Same process, same perf_counter: no clock pair needed.
+            tel.note_ack(f"t{worker}", ticket,
+                         records=[("kernel", t0, t1, ticket, nbytes)],
+                         phases={"kernel": dt}, seconds=dt)
         return TaskResult(worker=f"t{worker}", seconds=dt, outputs=outputs)
 
     def release(self, ticket):

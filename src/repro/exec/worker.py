@@ -22,7 +22,7 @@ from __future__ import annotations
 import traceback
 from collections import OrderedDict
 from multiprocessing import shared_memory
-from time import perf_counter
+from time import perf_counter, perf_counter_ns
 
 import numpy as np
 
@@ -31,12 +31,18 @@ ATTACH_CACHE = 128
 
 
 def _attach(cache: "OrderedDict[str, shared_memory.SharedMemory]",
-            name: str) -> shared_memory.SharedMemory:
+            name: str, buf=None,
+            ticket: int = -1) -> shared_memory.SharedMemory:
     seg = cache.get(name)
     if seg is not None:
         cache.move_to_end(name)
         return seg
-    seg = shared_memory.SharedMemory(name=name)
+    if buf is None:
+        seg = shared_memory.SharedMemory(name=name)
+    else:
+        a0 = perf_counter_ns()
+        seg = shared_memory.SharedMemory(name=name)
+        buf.record("attach", a0, perf_counter_ns(), ticket, seg.size)
     cache[name] = seg
     while len(cache) > ATTACH_CACHE:
         _old, stale = cache.popitem(last=False)
@@ -44,31 +50,64 @@ def _attach(cache: "OrderedDict[str, shared_memory.SharedMemory]",
     return seg
 
 
-def worker_main(worker_id: int, tasks, replies) -> None:
-    """Drain ``tasks`` until the ``None`` sentinel arrives."""
+def worker_main(worker_id: int, tasks, replies,
+                telemetry: bool = False) -> None:
+    """Drain ``tasks`` until the ``None`` sentinel arrives.
+
+    With ``telemetry`` on the worker keeps a
+    :class:`~repro.obs.phys.TelemetryBuffer`, times the
+    attach/setup/kernel sub-phases, and appends the drained buffer plus
+    its local recv/reply clock stamps as a 5th reply element -- the
+    piggyback payload the parent's aggregator merges.  Off, the loop
+    and the 4-tuple replies are byte-identical to the historical path.
+    """
     from repro.exec.base import resolve_kernel
 
+    buf = None
+    if telemetry:
+        from repro.obs.phys import TelemetryBuffer
+        buf = TelemetryBuffer(f"w{worker_id}")
     cache: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
     while True:
         msg = tasks.get()
         if msg is None:
             break
         task_id, ref, descriptors, kwargs = msg
+        t_recv = perf_counter_ns() if telemetry else 0
         t0 = perf_counter()
         try:
             fn = resolve_kernel(ref)
             args = {}
+            nbytes = 0
             for name, seg_name, shape, dtype, writable in descriptors:
-                seg = _attach(cache, seg_name)
+                seg = _attach(cache, seg_name, buf, task_id)
                 arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
                 if not writable:
                     arr = arr.view()
                     arr.flags.writeable = False
                 args[name] = arr
-            fn(**args, **kwargs)
-            replies.put((task_id, worker_id, perf_counter() - t0, None))
+                nbytes += arr.nbytes
+            if buf is None:
+                fn(**args, **kwargs)
+                replies.put((task_id, worker_id, perf_counter() - t0,
+                             None))
+            else:
+                k0 = perf_counter_ns()
+                buf.record("setup", t_recv, k0, task_id, 0)
+                fn(**args, **kwargs)
+                k1 = perf_counter_ns()
+                buf.record("kernel", k0, k1, task_id, nbytes)
+                buf.record_rss(task_id)
+                replies.put((task_id, worker_id, perf_counter() - t0,
+                             None,
+                             (buf.drain(), t_recv, perf_counter_ns())))
         except BaseException:
-            replies.put((task_id, worker_id, perf_counter() - t0,
-                         traceback.format_exc()))
+            if buf is None:
+                replies.put((task_id, worker_id, perf_counter() - t0,
+                             traceback.format_exc()))
+            else:
+                replies.put((task_id, worker_id, perf_counter() - t0,
+                             traceback.format_exc(),
+                             (buf.drain(), t_recv, perf_counter_ns())))
     for seg in cache.values():
         seg.close()

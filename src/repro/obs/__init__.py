@@ -12,11 +12,24 @@ its results:
 * :mod:`repro.obs.critical` + :mod:`repro.obs.report` -- critical-path
   extraction and the :class:`~repro.obs.report.RunReport` artifact.
 * :mod:`repro.obs.regress` -- tolerance-banded regression gating
-  against the committed ``BENCH_*.json`` baselines.
+  against the committed ``BENCH_*.json`` baselines, plus SLO gating of
+  ``/status`` snapshots.
+* :mod:`repro.obs.phys` -- the *physical* telemetry plane: per-worker
+  wall-clock sub-phase records piggybacked on completion acks,
+  NTP-style clock alignment, and merged Perfetto tracks next to the
+  virtual timeline.
+* :mod:`repro.obs.live` + :mod:`repro.obs.health` -- the live serve
+  status endpoint / ``repro top`` TUI, worker watchdog, and
+  declarative :class:`~repro.obs.health.SLOPolicy` objectives.
 
 Everything is zero-cost when disabled: ``System(observe=False)``
-installs the shared null observer and no span objects are allocated.
+installs the shared null observer and no span objects are allocated;
+telemetry-off executors allocate no buffers and ship bare acks.
 Virtual makespans are bit-identical either way.
+
+``phys``, ``live`` and ``health`` are intentionally *not* imported
+here: executors import them lazily from their hot paths, and this
+package must stay importable without dragging HTTP/server machinery in.
 """
 
 from repro.obs.critical import CriticalPath, PathStep, critical_path

@@ -25,11 +25,19 @@ CLI
 
     python -m repro.obs.regress BASELINE.json FRESH.json [--rtol 0.25]
                                 [--warn-only]
+    python -m repro.obs.regress --slo POLICY.json STATUS.json
 
 Exit status 1 on any regression (0 with ``--warn-only``, the CI mode:
 shared runners are too noisy for a hard wall-clock gate at CI scale).
 A baseline file that does not exist yet is a warning and exit 0: a new
 bench must be able to land in the same change as its first baseline.
+
+``--slo`` gates a ``/status`` snapshot (see
+:meth:`repro.serve.service.JobService.status`) against a declarative
+:class:`~repro.obs.health.SLOPolicy` instead of a bench baseline.
+Unlike wall times, the gated quantities (virtual latencies, queue
+depth, wedged-worker count) are deterministic, so SLO misses stay hard
+failures even under ``--warn-only``-style CI noise concerns.
 """
 
 from __future__ import annotations
@@ -172,15 +180,38 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.regress",
         description="Gate a fresh bench run against a committed baseline.")
-    parser.add_argument("baseline", metavar="BASELINE.json")
-    parser.add_argument("fresh", metavar="FRESH.json")
+    parser.add_argument("baseline", nargs="?", metavar="BASELINE.json")
+    parser.add_argument("fresh", nargs="?", metavar="FRESH.json")
     parser.add_argument("--rtol", type=float, default=DEFAULT_RTOL,
                         help=f"relative tolerance band for wall times and "
                              f"speedups (default {DEFAULT_RTOL})")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (CI mode on "
                              "noisy shared runners)")
+    parser.add_argument("--slo", nargs=2,
+                        metavar=("POLICY.json", "STATUS.json"),
+                        help="gate a /status snapshot against an SLO "
+                             "policy instead of diffing bench baselines")
     args = parser.parse_args(argv)
+
+    if args.slo is not None:
+        if args.baseline is not None or args.fresh is not None:
+            parser.error("--slo replaces the BASELINE/FRESH positionals")
+        from repro.obs.health import SLOPolicy
+        policy_path, status_path = args.slo
+        try:
+            policy = SLOPolicy.from_json(policy_path)
+            with open(status_path) as fh:
+                status_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read SLO inputs: {exc}", file=sys.stderr)
+            return 2
+        report = policy.evaluate(status_doc)
+        print(report.table())
+        return 0 if report.ok else 1
+    if args.baseline is None or args.fresh is None:
+        parser.error("BASELINE.json and FRESH.json are required "
+                     "(or use --slo)")
 
     # A bench whose baseline has never been committed is not a
     # regression -- it is the run that *creates* the first baseline

@@ -35,7 +35,8 @@ class RunReport:
     def __init__(self, name: str, breakdown: Breakdown,
                  resources: dict[str, float], path: CriticalPath,
                  intervals: int, spans: dict | None = None,
-                 metrics: dict | None = None) -> None:
+                 metrics: dict | None = None,
+                 phys: dict | None = None) -> None:
         self.name = name
         self.breakdown = breakdown
         self.resources = resources
@@ -43,12 +44,16 @@ class RunReport:
         self.intervals = intervals
         self.spans = spans
         self.metrics = metrics
+        #: Physical-plane summary (:meth:`PhysTelemetry.summary`) when
+        #: the run's executor carried telemetry; ``None`` otherwise.
+        self.phys = phys
 
     # -- construction -----------------------------------------------------
 
     @classmethod
     def from_trace(cls, trace: Trace, *, name: str = "run",
-                   observer=None, metrics=None) -> "RunReport":
+                   observer=None, metrics=None,
+                   phys=None) -> "RunReport":
         spans_summary = None
         path = critical_path(trace)
         if observer is not None and getattr(observer, "enabled", False) \
@@ -77,19 +82,28 @@ class RunReport:
         if metrics is not None:
             metrics_snapshot = metrics.snapshot() \
                 if hasattr(metrics, "snapshot") else metrics
+        phys_summary = None
+        if phys is not None:
+            phys_summary = phys.summary() \
+                if hasattr(phys, "summary") else phys
         return cls(name=name, breakdown=profile_trace(trace),
                    resources=trace.by_resource(), path=path,
                    intervals=len(trace), spans=spans_summary,
-                   metrics=metrics_snapshot)
+                   metrics=metrics_snapshot, phys=phys_summary)
 
     @classmethod
     def from_system(cls, system, *, name: str = "run") -> "RunReport":
         """Report on a system's recorded timeline (write-back IOUs are
-        settled first, like :meth:`System.breakdown`)."""
+        settled first, like :meth:`System.breakdown`).  A telemetry-on
+        executor contributes its physical-plane summary."""
         system.cache.flush_all()
+        tel = getattr(getattr(system, "executor", None), "telemetry", None)
+        if tel is not None and not tel.records:
+            tel = None
         return cls.from_trace(system.timeline.trace, name=name,
                               observer=getattr(system, "obs", None),
-                              metrics=getattr(system, "metrics", None))
+                              metrics=getattr(system, "metrics", None),
+                              phys=tel)
 
     # -- export -----------------------------------------------------------
 
@@ -126,6 +140,8 @@ class RunReport:
             out["spans"] = self.spans
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.phys is not None:
+            out["phys"] = self.phys
         return out
 
     def to_json(self) -> str:
@@ -158,6 +174,18 @@ class RunReport:
             for (node, level), states in sorted(per_queue.items()):
                 counts = " ".join(f"{s}={c}" for s, c in states.items())
                 parts.append(f"  node {node} L{level}: {counts}")
+        if self.phys is not None:
+            parts.append("")
+            parts.append(f"physical workers ({self.phys['backend']}, "
+                         f"{self.phys['tasks']} tasks, busy skew "
+                         f"{self.phys['busy_skew']:.2f}x):")
+            for w, st in sorted(self.phys["workers"].items()):
+                flag = "  <- straggler" \
+                    if w in self.phys["stragglers"] else ""
+                parts.append(
+                    f"  {w:<6} {st['tasks']:>4} tasks  "
+                    f"{st['busy_s'] * 1e3:>9.3f} ms busy  "
+                    f"util {st['utilization'] * 100:>5.1f}%{flag}")
         if self.spans is not None:
             parts.append("")
             parts.append(f"span tree ({self.spans['count']} spans, "

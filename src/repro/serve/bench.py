@@ -24,6 +24,7 @@ import argparse
 import hashlib
 import json
 import os
+import sys
 
 import numpy as np
 
@@ -145,6 +146,28 @@ def _pct(sorted_vals: list[float], q: float) -> float:
     return sorted_vals[idx]
 
 
+class _StatusBoard:
+    """Mutable holder the status endpoint reads through.
+
+    The bench serves three streams on three short-lived services;
+    binding the HTTP server to the board (not a service) lets one
+    endpoint follow whichever service is live, and keeps each policy's
+    final snapshot for the SLO gate after teardown.
+    """
+
+    def __init__(self) -> None:
+        self.service: JobService | None = None
+        self.final: dict[str, dict] = {}
+
+    def status(self) -> dict:
+        svc = self.service
+        if svc is None:
+            from repro.obs.live import STATUS_SCHEMA
+            return {"schema": STATUS_SCHEMA,
+                    "service": {"policy": "idle"}, "tenants": {}}
+        return svc.status()
+
+
 class SoloOracle:
     """Solo in-order results, one fresh system per distinct spec.
 
@@ -178,7 +201,8 @@ class SoloOracle:
 def run_policy(policy: str, *, scale_name: str, seed: int = 0,
                oracle: SoloOracle | None = None,
                reports_dir: str | None = None,
-               executor: str | None = None) -> dict:
+               executor: str | None = None,
+               board: _StatusBoard | None = None) -> dict:
     """Serve the seeded stream under one policy on a fresh system.
 
     Returns the BENCH payload entry for that policy.  When ``oracle``
@@ -186,7 +210,8 @@ def run_policy(policy: str, *, scale_name: str, seed: int = 0,
     solo in-order run of its spec; a mismatch raises.  ``executor``
     picks the compute backend (``inline`` when None); every statistic
     in the payload is virtual, so the payload must be byte-identical
-    across backends.
+    across backends.  ``board`` exposes the live service through the
+    bench's status endpoint and keeps the final snapshot for SLO gates.
     """
     scale = SCALES[scale_name]
     system = _fresh_system(executor)
@@ -194,8 +219,12 @@ def run_policy(policy: str, *, scale_name: str, seed: int = 0,
         policy=policy, seed=seed, max_pending=scale["max_pending"],
         max_live_per_tenant=scale["max_live_per_tenant"],
         quotas=tenant_quotas()))
+    if board is not None:
+        board.service = service
     jobs = service.run(build_stream(scale, seed=seed))
     try:
+        if board is not None:
+            board.final[policy] = service.status()
         done = [j for j in jobs if j.state is JobState.DONE]
         failed = [j for j in jobs if j.state is JobState.FAILED]
         if failed:
@@ -215,6 +244,8 @@ def run_policy(policy: str, *, scale_name: str, seed: int = 0,
                 service.job_report(job).save(
                     os.path.join(reports_dir, f"{policy}_{job.job_id}.json"))
     finally:
+        if board is not None:
+            board.service = None
         for job in jobs:
             if job.app is not None:
                 job.app.release_root_buffers()
@@ -249,7 +280,8 @@ def run_policy(policy: str, *, scale_name: str, seed: int = 0,
 
 
 def run_bench(*, scale_name: str, seed: int = 0, verify: bool = True,
-              reports_dir: str | None = None) -> dict:
+              reports_dir: str | None = None,
+              board: _StatusBoard | None = None) -> dict:
     """The full bench: every policy over the same arrival stream."""
     oracle = SoloOracle() if verify else None
     scale = SCALES[scale_name]
@@ -260,7 +292,8 @@ def run_bench(*, scale_name: str, seed: int = 0, verify: bool = True,
         "arrivals": {"rate_jobs_per_s": scale["rate"],
                      "count": scale["count"]},
         "policies": {p: run_policy(p, scale_name=scale_name, seed=seed,
-                                   oracle=oracle, reports_dir=reports_dir)
+                                   oracle=oracle, reports_dir=reports_dir,
+                                   board=board)
                      for p in POLICIES},
     }
     fifo = payload["policies"]["fifo"]
@@ -305,16 +338,95 @@ def main(argv: list[str] | None = None) -> int:
                              "served job under this directory")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the solo bit-identity cross-check")
+    parser.add_argument("--status-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live /status over HTTP while the "
+                             "bench runs (0 = auto-assign) and scrape "
+                             "it through the socket")
+    parser.add_argument("--status-snapshot", default=None, metavar="FILE",
+                        help="write the last scraped /status document "
+                             "to FILE (schema-checked; implies a "
+                             "status server on an auto port)")
+    parser.add_argument("--slo", default=None, metavar="POLICY.json",
+                        help="gate every policy's final status snapshot "
+                             "on this SLO policy; any miss exits 1")
     args = parser.parse_args(argv)
     scale_name = pick_scale(args.scale)
-    payload = run_bench(scale_name=scale_name, seed=args.seed,
-                        verify=not args.no_verify,
-                        reports_dir=args.reports_dir)
+
+    want_status = (args.status_port is not None
+                   or args.status_snapshot is not None
+                   or args.slo is not None)
+    board = _StatusBoard() if want_status else None
+    server = scraper = None
+    scraped: dict = {}
+    if args.status_port is not None or args.status_snapshot is not None:
+        import threading
+
+        from repro.obs.live import StatusServer, fetch_status
+        server = StatusServer(board.status,
+                              port=args.status_port or 0)
+        print(f"status endpoint: {server.url}/status")
+        stop = threading.Event()
+
+        def _scrape() -> None:
+            while not stop.is_set():
+                try:
+                    doc = fetch_status(server.url)
+                except OSError:
+                    pass
+                else:
+                    # Keep the busiest frame seen over the wire: the
+                    # artifact should show the service mid-flight.
+                    if doc.get("service", {}).get("live_jobs", 0) >= \
+                            scraped.get("service", {}).get("live_jobs", 0):
+                        scraped.clear()
+                        scraped.update(doc)
+                stop.wait(0.02)
+
+        scraper = threading.Thread(target=_scrape, daemon=True,
+                                   name="repro-status-scrape")
+        scraper.start()
+    try:
+        payload = run_bench(scale_name=scale_name, seed=args.seed,
+                            verify=not args.no_verify,
+                            reports_dir=args.reports_dir, board=board)
+    finally:
+        if scraper is not None:
+            stop.set()
+            scraper.join(timeout=2.0)
+        if server is not None:
+            server.close()
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(format_table(payload))
     print(f"wrote {args.out}")
+    if args.status_snapshot is not None:
+        from repro.obs.live import STATUS_SCHEMA
+        doc = scraped or (board.final.get(POLICIES[-1]) if board else None)
+        if not doc:
+            print("no status snapshot was scraped", file=sys.stderr)
+            return 1
+        if doc.get("schema") != STATUS_SCHEMA:
+            print(f"status schema mismatch: {doc.get('schema')!r} != "
+                  f"{STATUS_SCHEMA!r}", file=sys.stderr)
+            return 1
+        with open(args.status_snapshot, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.status_snapshot} "
+              f"(schema {doc['schema']}, scraped over HTTP: "
+              f"{bool(scraped)})")
+    if args.slo is not None:
+        from repro.obs.health import SLOPolicy
+        slo = SLOPolicy.from_json(args.slo)
+        failed = False
+        for policy, doc in sorted(board.final.items()):
+            report = slo.evaluate(doc)
+            print(f"[{policy}] {report.table()}")
+            failed = failed or not report.ok
+        if failed:
+            return 1
     return 0
 
 

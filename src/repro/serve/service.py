@@ -33,7 +33,9 @@ shared trace.
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.obs.report import RunReport
@@ -55,6 +57,15 @@ class ServeConfig:
     max_pending: int = 64
     max_live_per_tenant: int = 2
     quotas: dict[str, TenantQuota] | None = None
+
+
+def _pct(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1,
+              max(0, math.ceil(q / 100.0 * len(sorted_vals)) - 1))
+    return sorted_vals[idx]
 
 
 @dataclass
@@ -102,6 +113,8 @@ class JobService:
         self.dispatch_log: list[str] = []
         self._row_lo = 0
         self._saved_stack: list[int] | None = None
+        self._wall_start = time.perf_counter()
+        self._status_server = None
         system.metrics.register_collector(self._collect)
 
     # -- submission --------------------------------------------------------
@@ -276,6 +289,89 @@ class JobService:
             if total > 0:
                 reg.gauge("serve_tenant_busy_share", busy / total,
                           labels={"tenant": tenant})
+
+    def status(self) -> dict:
+        """Live snapshot for the status endpoint / ``repro top``.
+
+        Runs on the HTTP thread while the event loop mutates state, so
+        it only reads GIL-atomic aggregates: list copies taken once,
+        dict copies, counters.  Latencies are *virtual* seconds -- the
+        deterministic quantities SLO gates hard-fail on.
+        """
+        from repro.obs.live import STATUS_SCHEMA
+
+        live = list(self.live)
+        finished = list(self.finished)
+        done = [j for j in finished if j.state is JobState.DONE]
+        rejected = sum(1 for j in finished
+                       if j.state is JobState.REJECTED)
+        lat = sorted(j.latency for j in done)
+        out = {
+            "schema": STATUS_SCHEMA,
+            "service": {
+                "policy": self.config.policy,
+                "uptime_s": time.perf_counter() - self._wall_start,
+                "now_vt": self.now,
+                "live_jobs": len(live),
+                "pending_jobs": len(self.admission.pending),
+                "finished_jobs": len(done),
+                "rejected_jobs": rejected,
+                "grants": self._grants,
+                "p50_latency_s": _pct(lat, 50),
+                "p99_latency_s": _pct(lat, 99),
+            },
+        }
+        busy = dict(self._tenant_busy)
+        total_busy = sum(busy.values())
+        tenants: dict[str, dict] = {}
+        for j in live:
+            row = tenants.setdefault(j.tenant, {"live": 0, "finished": 0})
+            row["live"] += 1
+        per_tenant_lat: dict[str, list[float]] = {}
+        for j in done:
+            row = tenants.setdefault(j.tenant, {"live": 0, "finished": 0})
+            row["finished"] += 1
+            per_tenant_lat.setdefault(j.tenant, []).append(j.latency)
+        for tenant, row in tenants.items():
+            tl = sorted(per_tenant_lat.get(tenant, ()))
+            row["p50_latency_s"] = _pct(tl, 50)
+            row["p99_latency_s"] = _pct(tl, 99)
+            row["busy_share"] = (busy.get(tenant, 0.0) / total_busy
+                                 if total_busy > 0 else 0.0)
+        out["tenants"] = tenants
+        ex = self.system.executor
+        tel = getattr(ex, "telemetry", None)
+        if tel is not None and tel.records:
+            out["workers_summary"] = tel.summary()
+            from repro.obs.health import Watchdog
+            out["health"] = Watchdog().summary(tel.last_seen_ns)
+        else:
+            stats = ex.stats
+            out["workers_summary"] = {
+                "backend": ex.name,
+                "workers": {
+                    w: {"tasks": stats.worker_tasks.get(w, 0),
+                        "busy_s": s, "utilization": 0.0}
+                    for w, s in sorted(stats.worker_busy.items())},
+                "stragglers": [],
+            }
+            out["health"] = {"workers": {}, "counts": {}}
+        pool = getattr(ex, "_pool", None)
+        if pool is not None and hasattr(pool, "created"):
+            out["shm_pool"] = {
+                "segments": pool.created, "reused": pool.reused,
+                "free": sum(len(b) for b in pool._free.values()),
+            }
+        return out
+
+    def start_status_server(self, port: int = 0):
+        """Expose :meth:`status` over HTTP (idempotent); returns the
+        :class:`~repro.obs.live.StatusServer`."""
+        if self._status_server is None or self._status_server.closed:
+            from repro.obs.live import StatusServer
+            self._status_server = StatusServer(
+                self.status, metrics=self.system.metrics, port=port)
+        return self._status_server
 
     def job_trace(self, job: Job) -> Trace:
         """The job's private trace: its grant windows re-assembled from

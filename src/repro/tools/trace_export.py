@@ -60,10 +60,14 @@ _FLOW_PARENT_BASE = 1 << 32
 #: Flow-id namespace offset for task-graph dependency arrows.
 _FLOW_GRAPH_BASE = 1 << 33
 
+#: Flow-id namespace offset for virtual-span -> physical-kernel arrows.
+_FLOW_VPHYS_BASE = 1 << 35
+
 
 def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
                        counters: bool = True,
-                       spans=None, graphs=None) -> Iterator[dict]:
+                       spans=None, graphs=None,
+                       phys=None) -> Iterator[dict]:
     """Yield Chrome Trace Event dicts one at a time.
 
     ``time_unit`` scales virtual seconds to the format's microseconds
@@ -76,11 +80,23 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
     charged trace intervals becomes a flow arrow from the source node's
     last interval to the destination node's first -- the *actual* edges
     the executor respected, not an inference from timing.
+
+    ``phys`` is a :class:`~repro.obs.phys.PhysTraceMerger` (or a
+    :class:`~repro.obs.phys.PhysTelemetry`, promoted via ``merger()``):
+    the physical plane joins the export as a third process -- one
+    wall-clock lane per worker with grant -> kernel -> ack flows -- and
+    every span-attributed physical kernel gets a flow arrow from the
+    virtual span's first interval into its physical slice, tying the
+    two clock domains together.
     """
+    merger = phys
+    if merger is not None and not hasattr(merger, "chrome_events"):
+        merger = merger.merger()
     tids: dict[str, int] = {}
     cum_bytes: dict[str, int] = {}
     span_list = getattr(spans, "spans", None) if spans is not None else None
     have_spans = bool(span_list) and len(span_list) > 1
+    track_spans = have_spans or merger is not None
     #: span id -> (ts, tid) of its previous interval, for chain flows.
     last_anchor: dict[int, tuple[float, int]] = {}
     #: span ids that have appeared in the trace (flow targets exist).
@@ -143,10 +159,11 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
                 "pid": _PID_RESOURCES,
                 "args": {"cumulative_bytes": cum},
             }
-        if have_spans and 0 < sid < len(span_list):
+        if track_spans and sid > 0 and \
+                (not have_spans or sid < len(span_list)):
             if sid not in first_anchor:
                 first_anchor[sid] = (ts, tid)
-            else:
+            elif have_spans:
                 # Chain this span's intervals; the matching "s" start is
                 # emitted after the sweep (event order is irrelevant to
                 # the format, only ts/pid/tid binding is).
@@ -220,6 +237,26 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
                "bp": "e", "id": fid, "ts": d_start,
                "pid": _PID_RESOURCES, "tid": d_tid, "args": args}
 
+    # The physical plane: wall-clock worker lanes (pid 3) plus arrows
+    # from each virtual span's first interval into the first physical
+    # kernel slice that ran on its behalf.
+    if merger is not None:
+        yield from merger.chrome_events(time_unit=time_unit)
+        for sid, (start_s, worker) in merger.kernel_anchors().items():
+            anchor = first_anchor.get(sid)
+            if anchor is None:
+                continue
+            v_ts, v_tid = anchor
+            fid = _FLOW_VPHYS_BASE + sid
+            args = {"span": sid, "worker": worker}
+            yield {"name": "executes", "cat": "virt_phys", "ph": "s",
+                   "id": fid, "ts": v_ts, "pid": _PID_RESOURCES,
+                   "tid": v_tid, "args": args}
+            yield {"name": "executes", "cat": "virt_phys", "ph": "f",
+                   "bp": "e", "id": fid, "ts": start_s * time_unit,
+                   "pid": merger.PID, "tid": merger.tid_of(worker),
+                   "args": args}
+
     # Thread-name metadata so tracks are labelled by resource.
     for resource, tid in tids.items():
         yield {
@@ -230,16 +267,16 @@ def iter_chrome_events(trace: Trace, *, time_unit: float = 1e6,
 
 def to_chrome_trace(trace: Trace, *, time_unit: float = 1e6,
                     counters: bool = True, spans=None,
-                    graphs=None) -> list[dict]:
+                    graphs=None, phys=None) -> list[dict]:
     """Convert a trace to a list of Chrome Trace Event dicts."""
     return list(iter_chrome_events(trace, time_unit=time_unit,
                                    counters=counters, spans=spans,
-                                   graphs=graphs))
+                                   graphs=graphs, phys=phys))
 
 
 def write_chrome_trace(trace: Trace, path: str, *,
                        time_unit: float = 1e6, counters: bool = True,
-                       spans=None, graphs=None) -> int:
+                       spans=None, graphs=None, phys=None) -> int:
     """Write ``trace`` as Chrome Trace Event JSON; returns event count.
 
     Streams: each event is serialised and written as it is produced, so
@@ -250,7 +287,7 @@ def write_chrome_trace(trace: Trace, path: str, *,
         fh.write('{"traceEvents": [')
         for event in iter_chrome_events(trace, time_unit=time_unit,
                                         counters=counters, spans=spans,
-                                        graphs=graphs):
+                                        graphs=graphs, phys=phys):
             if count:
                 fh.write(",\n")
             fh.write(json.dumps(event))

@@ -1,0 +1,184 @@
+"""Clock alignment: :func:`repro.obs.phys.fit_clock` must recover an
+injected worker-clock offset (and drift) from grant/ack timestamp
+pairs, and :class:`~repro.obs.phys.PhysTraceMerger` must clamp every
+aligned record so causality survives fit error -- no record of a
+granted ticket may begin before its grant left the coordinator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.phys import (AlignedRecord, ClockModel, PhysTelemetry,
+                            fit_clock)
+
+NS = 1  # readability: timestamps below are already in ns
+
+
+def _round_trips(offset_ns, *, drift=0.0, n=16, delay_ns=25_000,
+                 work_ns=400_000, start_ns=5_000_000_000,
+                 step_ns=2_000_000):
+    """Synthesize NTP pairs for a worker whose clock reads
+    ``c + offset_ns + drift * (c - start_ns)`` at coordinator instant
+    ``c``, with symmetric transport delay."""
+    def worker_clock(c):
+        return c + offset_ns + drift * (c - start_ns)
+
+    pairs = []
+    for i in range(n):
+        sent = start_ns + i * step_ns
+        recv = worker_clock(sent + delay_ns)
+        ack = worker_clock(sent + delay_ns + work_ns)
+        ack_recv = sent + delay_ns + work_ns + delay_ns
+        pairs.append((sent, recv, ack, ack_recv))
+    return pairs
+
+
+def test_empty_fit_is_identity():
+    model = fit_clock([])
+    assert model == ClockModel()
+    assert model.to_coordinator(123.0) == 123.0
+    assert model.samples == 0
+
+
+def test_single_pair_recovers_offset_without_drift():
+    (pair,) = _round_trips(7_000_000, n=1)
+    model = fit_clock([pair])
+    assert model.samples == 1
+    assert model.drift == 0.0
+    assert model.offset_ns == pytest.approx(7_000_000, abs=2.0)
+
+
+@pytest.mark.parametrize("offset_ns", [0, 40_000, -3_000_000,
+                                       12_000_000_000])
+def test_constant_offset_recovered(offset_ns):
+    model = fit_clock(_round_trips(offset_ns))
+    assert model.samples == 16
+    # Symmetric delay means the midpoint estimator is exact up to
+    # float rounding on ~1e10 ns magnitudes.
+    assert model.offset_at(model.ref_ns) == pytest.approx(offset_ns,
+                                                          abs=16.0)
+    assert abs(model.drift) < 1e-9
+
+
+def test_offset_and_drift_recovered_within_tolerance():
+    # 50 ppm drift over a 30 ms sampling window.
+    drift = 5e-5
+    pairs = _round_trips(2_500_000, drift=drift, n=32)
+    model = fit_clock(pairs)
+    # The fit parameterizes offset in *worker* time, so the recovered
+    # slope is drift/(1+drift) -- indistinguishable at this scale.
+    assert model.drift == pytest.approx(drift, rel=1e-2)
+    assert model.offset_at(model.ref_ns) == pytest.approx(
+        2_500_000, rel=1e-3, abs=500.0)
+    # Round trip: mapping a worker instant back lands on the
+    # coordinator instant it was synthesized from.
+    sent, recv, ack, ack_recv = pairs[20]
+    w_mid = (recv + ack) / 2.0
+    c_mid = (sent + ack_recv) / 2.0
+    assert model.to_coordinator(w_mid) == pytest.approx(c_mid, abs=200.0)
+
+
+def test_asymmetric_delay_error_is_bounded_by_the_asymmetry():
+    # NTP's known blind spot: a fixed 10 us forward/return asymmetry
+    # biases the offset by half the asymmetry, no worse.
+    asym = 10_000
+    pairs = []
+    for sent, recv, ack, ack_recv in _round_trips(1_000_000):
+        pairs.append((sent, recv + asym, ack + asym, ack_recv + 2 * asym))
+    model = fit_clock(pairs)
+    err = abs(model.offset_at(model.ref_ns) - 1_000_000)
+    assert err <= asym, f"offset error {err} ns exceeds the asymmetry"
+
+
+def _telemetry_with(grants, records, pairs):
+    tel = PhysTelemetry(backend="test")
+    try:
+        for ticket, sent in grants.items():
+            tel.note_submit(ticket)
+            tel.note_grant_sent(ticket, sent)
+        for worker, recs in records.items():
+            tel.records[worker] = list(recs)
+        for worker, ps in pairs.items():
+            tel.pairs[worker] = list(ps)
+        return tel
+    finally:
+        tel.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    offset_ns=st.integers(min_value=-10**10, max_value=10**10),
+    delay_ns=st.integers(min_value=0, max_value=10**6),
+    work_ns=st.integers(min_value=1, max_value=10**8),
+    jitter_ns=st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                       min_size=4, max_size=4),
+    starts=st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=6),
+)
+def test_aligned_records_never_begin_before_their_grant(
+        offset_ns, delay_ns, work_ns, jitter_ns, starts):
+    """The causality invariant: whatever the (possibly garbage) clock
+    fit says, a granted ticket's records are clamped to start no
+    earlier than the grant's coordinator send instant, and every
+    record keeps t1 >= t0."""
+    base = 10**10
+    grants, recs, pair_rows = {}, [], []
+    for i, s in enumerate(sorted(starts)):
+        ticket = i + 1
+        sent = base + s
+        grants[ticket] = sent
+        recv_w = sent + delay_ns + offset_ns + jitter_ns[i % 4]
+        ack_w = recv_w + work_ns
+        recs.append(("kernel", recv_w, ack_w, ticket, 0))
+        pair_rows.append((sent, recv_w, ack_w,
+                          sent + 2 * delay_ns + work_ns))
+    tel = _telemetry_with(grants, {"w0": recs}, {"w0": pair_rows})
+    merger = tel.merger()
+    aligned = merger.aligned()
+    assert len(aligned) == len(recs)
+    for rec in aligned:
+        assert isinstance(rec, AlignedRecord)
+        assert rec.t1_ns >= rec.t0_ns
+        if rec.ticket in grants:
+            assert rec.t0_ns >= grants[rec.ticket], (
+                f"record of ticket {rec.ticket} starts "
+                f"{grants[rec.ticket] - rec.t0_ns:.0f} ns before its "
+                f"grant")
+
+
+def test_clamp_applies_with_a_deliberately_wrong_model():
+    # One worker, no clock pairs at all (identity model) but a huge
+    # real offset: raw mapping would place the kernel eons before the
+    # grant; the clamp pins it to the grant instant.
+    tel = _telemetry_with(
+        {1: 1_000_000_000},
+        {"w0": [("kernel", 5, 105, 1, 0)]},   # worker clock ~0
+        {})
+    merger = tel.merger()
+    (rec,) = merger.aligned()
+    assert rec.t0_ns == 1_000_000_000.0
+    assert rec.t1_ns >= rec.t0_ns
+    # Ungranted pseudo-tickets (inline records) are left unclamped.
+    tel2 = _telemetry_with({}, {"main": [("kernel", 5, 105, -1, 0)]}, {})
+    (rec2,) = tel2.merger().aligned()
+    assert rec2.t0_ns == 5.0
+
+
+def test_epoch_and_kernel_anchors():
+    tel = _telemetry_with(
+        {1: 100, 2: 200},
+        {"w0": [("kernel", 150, 250, 1, 0)],
+         "w1": [("kernel", 220, 300, 2, 0),
+                ("kernel", 320, 400, 2, 0)]},
+        {})
+    tel.tickets[1]["span"] = 11
+    tel.tickets[2]["span"] = 22
+    merger = tel.merger()
+    assert merger.epoch_ns == 100.0
+    anchors = merger.kernel_anchors()
+    assert set(anchors) == {11, 22}
+    s1, w1 = anchors[11]
+    assert w1 == "w0" and s1 == pytest.approx((150 - 100) / 1e9)
+    # Only the *first* kernel record anchors a span.
+    s2, w2 = anchors[22]
+    assert w2 == "w1" and s2 == pytest.approx((220 - 100) / 1e9)

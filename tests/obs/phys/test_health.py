@@ -1,0 +1,130 @@
+"""Watchdog classification and declarative SLO gating, including the
+``repro regress --slo`` CLI mode the serve CI job drives."""
+
+import json
+
+import pytest
+
+from repro.errors import NorthupError
+from repro.obs import regress
+from repro.obs.health import (HEALTHY, SLOW, WEDGED, SLOPolicy, Watchdog)
+
+S = 1_000_000_000      # ns per second
+
+
+def test_watchdog_thresholds():
+    dog = Watchdog(slow_after_s=3.0, wedged_after_s=10.0)
+    now = 100 * S
+    health = dog.classify({"w0": now - 1 * S,      # 1 s quiet
+                           "w1": now - 5 * S,      # 5 s quiet
+                           "w2": now - 15 * S,     # 15 s quiet
+                           "w3": now + 1 * S},     # clock skew: future
+                          now_ns=now)
+    assert health["w0"].state == HEALTHY
+    assert health["w1"].state == SLOW
+    assert health["w2"].state == WEDGED
+    assert health["w2"].age_s == pytest.approx(15.0)
+    assert health["w3"].state == HEALTHY and health["w3"].age_s == 0.0
+    summary = dog.summary({"w0": now - 1 * S, "w2": now - 15 * S},
+                          now_ns=now)
+    assert summary["counts"] == {HEALTHY: 1, SLOW: 0, WEDGED: 1}
+    assert summary["workers"]["w2"]["state"] == WEDGED
+
+
+def test_watchdog_rejects_inverted_thresholds():
+    with pytest.raises(NorthupError, match="wedged_after_s"):
+        Watchdog(slow_after_s=5.0, wedged_after_s=1.0)
+
+
+def _status(p50=0.01, p99=0.02, pending=0, utils=(0.8, 0.9),
+            stragglers=(), wedged=0):
+    workers = {f"w{i}": {"tasks": 3, "utilization": u}
+               for i, u in enumerate(utils)}
+    return {
+        "service": {"p50_latency_s": p50, "p99_latency_s": p99,
+                    "pending_jobs": pending},
+        "workers_summary": {"workers": workers,
+                            "stragglers": list(stragglers)},
+        "health": {"counts": {"healthy": len(utils) - wedged,
+                              "slow": 0, "wedged": wedged}},
+    }
+
+
+def test_slo_policy_all_objectives_pass_and_fail():
+    policy = SLOPolicy(name="full", max_p50_latency_s=0.05,
+                       max_p99_latency_s=0.1, max_queue_depth=4,
+                       min_worker_utilization=0.5,
+                       max_straggler_ratio=0.25, max_wedged_workers=0)
+    good = policy.evaluate(_status())
+    assert good.ok and len(good.checks) == 6
+    assert good.failed == []
+
+    bad = policy.evaluate(_status(p50=0.2, p99=0.3, pending=9,
+                                  utils=(0.1, 0.9),
+                                  stragglers=("w0",), wedged=1))
+    assert not bad.ok
+    assert {c.name for c in bad.failed} == {
+        "p50_latency_s", "p99_latency_s", "queue_depth",
+        "worker_utilization", "straggler_ratio", "wedged_workers"}
+    table = bad.table()
+    assert "SLO full: FAIL" in table and "[MISS]" in table
+    assert "SLO full: PASS" in good.table() and "[ok ]" in good.table()
+
+
+def test_none_disables_objectives_and_idle_workers_skip_utilization():
+    # Only the wedged gate is armed by default.
+    default = SLOPolicy()
+    report = default.evaluate(_status(p50=99.0, pending=999))
+    assert report.ok and [c.name for c in report.checks] == \
+        ["wedged_workers"]
+    # Workers with zero tasks don't drag the utilization floor.
+    policy = SLOPolicy(min_worker_utilization=0.5, max_wedged_workers=None)
+    doc = _status(utils=(0.9,))
+    doc["workers_summary"]["workers"]["idle"] = {"tasks": 0,
+                                                 "utilization": 0.0}
+    assert policy.evaluate(doc).ok
+    # No worker summary at all: the utilization objective stays unarmed.
+    assert policy.evaluate({"service": {}}).checks == []
+
+
+def test_slo_policy_rejects_unknown_objectives(tmp_path):
+    with pytest.raises(NorthupError, match="unknown SLO objective"):
+        SLOPolicy.from_dict({"max_p50_latency_s": 0.1, "max_p42": 1})
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps({"name": "ci", "max_queue_depth": 8}))
+    policy = SLOPolicy.from_json(str(path))
+    assert policy.name == "ci" and policy.max_queue_depth == 8
+
+
+def test_regress_slo_cli(tmp_path, capsys):
+    policy = tmp_path / "policy.json"
+    policy.write_text(json.dumps({"name": "gate",
+                                  "max_p50_latency_s": 0.05}))
+    ok_status = tmp_path / "ok.json"
+    ok_status.write_text(json.dumps(_status()))
+    bad_status = tmp_path / "bad.json"
+    bad_status.write_text(json.dumps(_status(p50=0.2)))
+
+    assert regress.main(["--slo", str(policy), str(ok_status)]) == 0
+    assert "SLO gate: PASS" in capsys.readouterr().out
+    assert regress.main(["--slo", str(policy), str(bad_status)]) == 1
+    assert "SLO gate: FAIL" in capsys.readouterr().out
+    # Unreadable inputs are a distinct exit, not a pass or a crash.
+    assert regress.main(["--slo", str(policy),
+                         str(tmp_path / "missing.json")]) == 2
+    assert "cannot read SLO inputs" in capsys.readouterr().err
+    # --slo and the bench positionals are mutually exclusive.
+    with pytest.raises(SystemExit):
+        regress.main(["base.json", "fresh.json",
+                      "--slo", str(policy), str(ok_status)])
+
+
+def test_ci_example_policy_parses_and_gates():
+    """The committed examples/slo_ci.json must stay loadable -- the CI
+    serve job feeds it straight to ``regress --slo``."""
+    from pathlib import Path
+    root = Path(__file__).resolve().parents[3]
+    policy = SLOPolicy.from_json(str(root / "examples" / "slo_ci.json"))
+    assert policy.name == "serve-ci"
+    assert policy.max_wedged_workers == 0
+    assert policy.evaluate(_status(p50=0.001, p99=0.003)).ok
