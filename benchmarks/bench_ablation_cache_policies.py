@@ -1,5 +1,7 @@
 """Buffer-cache policy ablation on the Figure 6 applications.
 
+Thin shim over ``benchmarks/scenarios/ablation_cache_policies.toml``.
+
 Each app runs uncached and then under LRU, cost-aware, and Belady-oracle
 eviction with the transparent cache.  Caching must never change results
 (bit-identical), GEMM's runtime-owned reuse must pay off, and the SpMV
@@ -7,13 +9,17 @@ cyclic sweep must show the classic policy gap: LRU gains nothing while
 the oracle retains a stable prefix of the working set.
 """
 
-from repro.bench.figures import ablation_cache_policies
+from repro.bench.cells import run_records
+from repro.bench.figures import CachePolicyRow
 from repro.bench.reporting import format_cache_policies
 
 
-def test_ablation_cache_policies(benchmark, report):
-    rows = benchmark.pedantic(ablation_cache_policies, rounds=1,
-                              iterations=1)
+def test_ablation_cache_policies(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("ablation_cache_policies",
+                           str(tmp_path / "cache_policies")),
+        rounds=1, iterations=1)
+    rows = [CachePolicyRow(**d) for d in records[0]["rows"]]
     report("ablation_cache_policies", format_cache_policies(rows))
     assert all(r.identical for r in rows)
     by = {(r.app, r.variant): r for r in rows}

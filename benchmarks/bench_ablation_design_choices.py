@@ -1,5 +1,9 @@
 """Ablations of the design choices DESIGN.md calls out.
 
+Thin shim over ``benchmarks/scenarios/ablation_design_choices.toml``:
+the scenario runs all four families once; each test asserts its own
+family's shape on the shared records.
+
 * GEMM row-shard reuse (Section IV-A's optimisation): storage reads
   drop when the row shard stays resident.
 * HotSpot steps-per-pass (ghost-zone temporal blocking): storage
@@ -10,14 +14,27 @@
   decomposition costs calls and utilisation.
 """
 
-from repro.bench.figures import (ablation_blocking_size, ablation_gemm_reuse,
-                                 ablation_hotspot_fusion,
-                                 ablation_pipeline_depth)
+from repro.bench.cells import run_records
+from repro.bench.figures import AblationRow
 from repro.bench.reporting import format_ablation
 
+_FAMILIES: dict[str, list[AblationRow]] = {}
 
-def test_ablation_gemm_reuse(benchmark, report):
-    rows = benchmark.pedantic(ablation_gemm_reuse, rounds=1, iterations=1)
+
+def _family(tmp_path_factory, name: str) -> list[AblationRow]:
+    """All four families come from one scenario run, paid once."""
+    if not _FAMILIES:
+        out = str(tmp_path_factory.mktemp("ablations"))
+        for rec in run_records("ablation_design_choices", out):
+            _FAMILIES[rec["ablation"]] = [AblationRow(**d)
+                                          for d in rec["rows"]]
+    return _FAMILIES[name]
+
+
+def test_ablation_gemm_reuse(benchmark, report, tmp_path_factory):
+    rows = benchmark.pedantic(_family,
+                              args=(tmp_path_factory, "gemm_reuse"),
+                              rounds=1, iterations=1)
     report("ablation_gemm_reuse",
            format_ablation(rows, "Ablation: GEMM row-shard reuse"))
     by_variant = {r.variant: r for r in rows}
@@ -26,8 +43,10 @@ def test_ablation_gemm_reuse(benchmark, report):
     assert by_variant["reuse"].makespan <= by_variant["no-reuse"].makespan
 
 
-def test_ablation_hotspot_fusion(benchmark, report):
-    rows = benchmark.pedantic(ablation_hotspot_fusion, rounds=1, iterations=1)
+def test_ablation_hotspot_fusion(benchmark, report, tmp_path_factory):
+    rows = benchmark.pedantic(_family,
+                              args=(tmp_path_factory, "hotspot_fusion"),
+                              rounds=1, iterations=1)
     report("ablation_hotspot_fusion",
            format_ablation(rows, "Ablation: HotSpot steps per pass"))
     by_variant = {r.variant: r for r in rows}
@@ -35,16 +54,20 @@ def test_ablation_hotspot_fusion(benchmark, report):
     assert by_variant["K=8"].makespan < by_variant["K=1"].makespan
 
 
-def test_ablation_pipeline_depth(benchmark, report):
-    rows = benchmark.pedantic(ablation_pipeline_depth, rounds=1, iterations=1)
+def test_ablation_pipeline_depth(benchmark, report, tmp_path_factory):
+    rows = benchmark.pedantic(_family,
+                              args=(tmp_path_factory, "pipeline_depth"),
+                              rounds=1, iterations=1)
     report("ablation_pipeline_depth",
            format_ablation(rows, "Ablation: pipeline (prefetch) depth"))
     by_variant = {r.variant: r for r in rows}
     assert by_variant["depth=2"].makespan <= by_variant["depth=1"].makespan
 
 
-def test_ablation_blocking_size(benchmark, report):
-    rows = benchmark.pedantic(ablation_blocking_size, rounds=1, iterations=1)
+def test_ablation_blocking_size(benchmark, report, tmp_path_factory):
+    rows = benchmark.pedantic(_family,
+                              args=(tmp_path_factory, "blocking_size"),
+                              rounds=1, iterations=1)
     report("ablation_blocking_size",
            format_ablation(rows, "Ablation: staging-buffer (blocking) size"))
     # Section V-B's two-sided point: blocks must be "small enough to fit

@@ -1,27 +1,9 @@
 """Wall-clock cost of physical data movement: zero-copy vs naive plane.
 
-The figure benches measure *virtual* time; this bench measures the real
-seconds the framework spends actually moving bytes, before and after
-the zero-copy data plane:
-
-* **mem -> mem bulk** -- ``Device.copy_into`` (one ``np.copyto`` between
-  backing views) against the retained naive path
-  (:mod:`repro.memory.reference`), which round-trips every move through
-  ``read``/``write`` copies.
-* **file -> mem contiguous** -- pooled-descriptor ``os.preadv`` straight
-  into the destination view vs open-per-op ``read()`` plus an
-  intermediate ``bytes``.
-* **strided file 2-D** -- the row-shard/ghost-zone shape: one spanning
-  ``pread`` and an in-memory strided gather (or vectored per-row
-  positioned reads) vs the naive per-row open/seek/read loop.  This is
-  the case the vectored path exists for.
-* **mem -> file 2-D scatter** -- the write-back direction (reported, no
-  floor: ``fsync``-free buffered writes are cheap in both planes).
-
-Every timed case asserts destination bytes identical between the two
-planes before reporting.  A SortApp A/B over a file-backed tree then
-checks end-to-end: virtual makespans must match bit for bit while the
-zero-copy plane wins wall-clock.
+Thin shim over :mod:`repro.bench.dataplane` (the moved bench body, also
+behind ``benchmarks/scenarios/dataplane.toml``): bulk, contiguous,
+strided and scatter moves in both planes plus the file-backed SortApp
+A/B.  See the module docstring for the cases.
 
 ``REPRO_DATAPLANE_SCALE=ci`` shrinks the working set and relaxes the
 mem->mem floor (shared CI runners jitter small-buffer timings); the
@@ -34,281 +16,8 @@ Writes ``BENCH_dataplane.json`` at the repository root.  Run directly
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import sys
-from time import perf_counter
-
-import numpy as np
-
-from repro.memory import reference
-from repro.memory.backends import FileBackend, MemBackend
-from repro.memory.device import Device, DeviceSpec, StorageKind
-from repro.memory.units import KB, MB
-
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_dataplane.json")
-
-CI_SCALE = os.environ.get("REPRO_DATAPLANE_SCALE", "").lower() == "ci"
-
-#: Acceptance floors (full scale).
-TARGET_STRIDED_SPEEDUP = 5.0
-TARGET_MEM_SPEEDUP = 2.0 if not CI_SCALE else 1.3
-
-if CI_SCALE:
-    MEM_MOVES, MEM_BYTES = 400, 256 * KB
-    FILE_MOVES, FILE_BYTES = 200, 256 * KB
-    SHARD_MOVES, SHARD_ROWS, SHARD_ROW_BYTES = 40, 64, 4 * KB
-    SORT_N = 60_000
-else:
-    MEM_MOVES, MEM_BYTES = 2_000, 1 * MB
-    FILE_MOVES, FILE_BYTES = 500, 1 * MB
-    SHARD_MOVES, SHARD_ROWS, SHARD_ROW_BYTES = 100, 128, 8 * KB
-    SORT_N = 250_000
-
-#: Row stride of the 2-D source: rows interleaved 4x apart, the shape a
-#: row shard of a 4x-wider matrix has on storage.
-SHARD_STRIDE_FACTOR = 4
-
-
-def _mem_device(name: str, capacity: int) -> Device:
-    spec = DeviceSpec(name=name, kind=StorageKind.MEM, capacity=capacity,
-                      read_bw=1e9, write_bw=1e9)
-    return Device(spec=spec, backend=MemBackend())
-
-
-def _file_device(name: str, capacity: int, root: str) -> Device:
-    spec = DeviceSpec(name=name, kind=StorageKind.FILE, capacity=capacity,
-                      read_bw=1e9, write_bw=1e9)
-    return Device(spec=spec, backend=FileBackend(root))
-
-
-def _fill(device: Device, alloc_id: int, nbytes: int, seed: int) -> None:
-    rng = np.random.default_rng(seed)
-    device.backend.create(alloc_id, nbytes)
-    device.backend.write(alloc_id, 0,
-                         rng.integers(0, 256, nbytes).astype(np.uint8))
-
-
-def _case_mem_bulk() -> dict:
-    """mem -> mem bulk moves: one np.copyto vs read+write round trip."""
-    src = _mem_device("src", 4 * MEM_BYTES)
-    dst = _mem_device("dst", 4 * MEM_BYTES)
-    try:
-        _fill(src, 1, MEM_BYTES, seed=1)
-        dst.backend.create(1, MEM_BYTES)
-        dst.backend.create(2, MEM_BYTES)
-
-        t0 = perf_counter()
-        for _ in range(MEM_MOVES):
-            reference.naive_copy(src.backend, 1, 0, dst.backend, 2, 0,
-                                 MEM_BYTES)
-        naive = perf_counter() - t0
-
-        t0 = perf_counter()
-        for _ in range(MEM_MOVES):
-            src.copy_into(dst, 1, 0, 1, 0, MEM_BYTES)
-        fast = perf_counter() - t0
-
-        assert (dst.backend.read(1, 0, MEM_BYTES).tobytes()
-                == dst.backend.read(2, 0, MEM_BYTES).tobytes()), \
-            "zero-copy mem->mem produced different bytes"
-        return {"case": "mem_to_mem_bulk", "moves": MEM_MOVES,
-                "bytes_per_move": MEM_BYTES,
-                "baseline_naive_s": round(naive, 6),
-                "zero_copy_s": round(fast, 6),
-                "speedup": round(naive / fast, 2),
-                "bytes_identical": True}
-    finally:
-        src.backend.close()
-        dst.backend.close()
-
-
-def _case_file_contig(tmp_root: str) -> dict:
-    """file -> mem contiguous: pooled-fd preadv-into-view vs open+read."""
-    src = _file_device("disk", 4 * FILE_BYTES, os.path.join(tmp_root, "fc"))
-    dst = _mem_device("ram", 4 * FILE_BYTES)
-    try:
-        _fill(src, 1, FILE_BYTES, seed=2)
-        dst.backend.create(1, FILE_BYTES)
-        dst.backend.create(2, FILE_BYTES)
-
-        t0 = perf_counter()
-        for _ in range(FILE_MOVES):
-            reference.naive_copy(src.backend, 1, 0, dst.backend, 2, 0,
-                                 FILE_BYTES)
-        naive = perf_counter() - t0
-
-        t0 = perf_counter()
-        for _ in range(FILE_MOVES):
-            src.copy_into(dst, 1, 0, 1, 0, FILE_BYTES)
-        fast = perf_counter() - t0
-
-        assert (dst.backend.read(1, 0, FILE_BYTES).tobytes()
-                == dst.backend.read(2, 0, FILE_BYTES).tobytes()), \
-            "zero-copy file->mem produced different bytes"
-        return {"case": "file_to_mem_contiguous", "moves": FILE_MOVES,
-                "bytes_per_move": FILE_BYTES,
-                "baseline_naive_s": round(naive, 6),
-                "zero_copy_s": round(fast, 6),
-                "speedup": round(naive / fast, 2),
-                "bytes_identical": True}
-    finally:
-        src.backend.close()
-        dst.backend.close()
-
-
-def _case_file_strided(tmp_root: str) -> dict:
-    """Strided file 2-D gather -- the acceptance case.
-
-    The naive plane opens the file once *per row* (that is what the
-    pre-change ``move_2d`` loop did through ``read``/``write``); the
-    vectored plane issues one spanning ``pread`` and gathers in memory.
-    """
-    stride = SHARD_ROW_BYTES * SHARD_STRIDE_FACTOR
-    src_size = (SHARD_ROWS - 1) * stride + SHARD_ROW_BYTES
-    payload = SHARD_ROWS * SHARD_ROW_BYTES
-    src = _file_device("disk", 2 * src_size, os.path.join(tmp_root, "fs"))
-    dst = _mem_device("ram", 4 * payload)
-    try:
-        _fill(src, 1, src_size, seed=3)
-        dst.backend.create(1, payload)
-        dst.backend.create(2, payload)
-
-        t0 = perf_counter()
-        for _ in range(SHARD_MOVES):
-            reference.naive_copy_2d(src.backend, 1, 0, stride,
-                                    dst.backend, 2, 0, SHARD_ROW_BYTES,
-                                    rows=SHARD_ROWS,
-                                    row_bytes=SHARD_ROW_BYTES)
-        naive = perf_counter() - t0
-
-        t0 = perf_counter()
-        for _ in range(SHARD_MOVES):
-            src.copy_into_2d(dst, 1, 0, stride, 1, 0, SHARD_ROW_BYTES,
-                             rows=SHARD_ROWS, row_bytes=SHARD_ROW_BYTES)
-        fast = perf_counter() - t0
-
-        assert (dst.backend.read(1, 0, payload).tobytes()
-                == dst.backend.read(2, 0, payload).tobytes()), \
-            "vectored strided gather produced different bytes"
-        return {"case": "strided_file_2d_gather", "moves": SHARD_MOVES,
-                "rows": SHARD_ROWS, "row_bytes": SHARD_ROW_BYTES,
-                "stride": stride,
-                "baseline_naive_s": round(naive, 6),
-                "zero_copy_s": round(fast, 6),
-                "speedup": round(naive / fast, 2),
-                "bytes_identical": True}
-    finally:
-        src.backend.close()
-        dst.backend.close()
-
-
-def _case_file_scatter(tmp_root: str) -> dict:
-    """mem -> file strided scatter (write-back direction; reported only)."""
-    stride = SHARD_ROW_BYTES * SHARD_STRIDE_FACTOR
-    dst_size = (SHARD_ROWS - 1) * stride + SHARD_ROW_BYTES
-    payload = SHARD_ROWS * SHARD_ROW_BYTES
-    src = _mem_device("ram", 4 * payload)
-    dst = _file_device("disk", 4 * dst_size, os.path.join(tmp_root, "sc"))
-    try:
-        _fill(src, 1, payload, seed=4)
-        dst.backend.create(1, dst_size)
-        dst.backend.create(2, dst_size)
-
-        t0 = perf_counter()
-        for _ in range(SHARD_MOVES):
-            reference.naive_copy_2d(src.backend, 1, 0, SHARD_ROW_BYTES,
-                                    dst.backend, 2, 0, stride,
-                                    rows=SHARD_ROWS,
-                                    row_bytes=SHARD_ROW_BYTES)
-        naive = perf_counter() - t0
-
-        t0 = perf_counter()
-        for _ in range(SHARD_MOVES):
-            src.copy_into_2d(dst, 1, 0, SHARD_ROW_BYTES, 1, 0, stride,
-                             rows=SHARD_ROWS, row_bytes=SHARD_ROW_BYTES)
-        fast = perf_counter() - t0
-
-        assert (dst.backend.read(1, 0, dst_size).tobytes()
-                == dst.backend.read(2, 0, dst_size).tobytes()), \
-            "strided scatter produced different bytes"
-        return {"case": "mem_to_file_2d_scatter", "moves": SHARD_MOVES,
-                "rows": SHARD_ROWS, "row_bytes": SHARD_ROW_BYTES,
-                "stride": stride,
-                "baseline_naive_s": round(naive, 6),
-                "zero_copy_s": round(fast, 6),
-                "speedup": round(naive / fast, 2),
-                "bytes_identical": True}
-    finally:
-        src.backend.close()
-        dst.backend.close()
-
-
-def _case_sort_end_to_end(tmp_root: str) -> dict:
-    """External sort over a file-backed root: zero_copy A/B.
-
-    Asserts the sorted output and the virtual makespan are identical in
-    both planes (the makespan via hex-encoded floats: bit identity, not
-    approximate equality), and reports the wall-clock win.
-    """
-    from repro.apps.sort import SortApp
-    from repro.core.system import System
-    from repro.topology.builders import apu_two_level
-
-    def run(zero_copy: bool, tag: str) -> tuple[bytes, float, float]:
-        tree = apu_two_level(storage_backend=FileBackend(
-            os.path.join(tmp_root, f"sort_{tag}")), staging_bytes=24 * KB)
-        system = System(tree, zero_copy=zero_copy)
-        try:
-            t0 = perf_counter()
-            app = SortApp(system, n=SORT_N, seed=9)
-            app.run(system)
-            out = app.result().tobytes()
-            wall = perf_counter() - t0
-            return out, system.makespan(), wall
-        finally:
-            system.close()
-
-    naive_out, naive_mk, naive_wall = run(False, "naive")
-    fast_out, fast_mk, fast_wall = run(True, "fast")
-    assert fast_out == naive_out, "zero-copy plane changed sort results"
-    assert float(fast_mk).hex() == float(naive_mk).hex(), (
-        f"zero-copy plane changed the virtual makespan: "
-        f"{naive_mk!r} != {fast_mk!r}")
-    return {"case": "external_sort_file_backed", "n": SORT_N,
-            "staging_bytes": 24 * KB,
-            "baseline_naive_s": round(naive_wall, 6),
-            "zero_copy_s": round(fast_wall, 6),
-            "speedup": round(naive_wall / fast_wall, 2),
-            "makespan_s": fast_mk,
-            "makespan_identical": True,
-            "bytes_identical": True}
-
-
-def run_bench() -> dict:
-    import tempfile
-    with tempfile.TemporaryDirectory(prefix="bench_dataplane_") as tmp:
-        cases = [_case_mem_bulk(), _case_file_contig(tmp),
-                 _case_file_strided(tmp), _case_file_scatter(tmp),
-                 _case_sort_end_to_end(tmp)]
-    by_case = {c["case"]: c for c in cases}
-    result = {
-        "cases": cases,
-        "meta": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            "scale": "ci" if CI_SCALE else "full",
-            "target_strided_speedup": TARGET_STRIDED_SPEEDUP,
-            "target_mem_speedup": TARGET_MEM_SPEEDUP,
-        },
-    }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
-    result["by_case"] = by_case
-    return result
+from repro.bench.dataplane import (RESULT_PATH, TARGET_STRIDED_SPEEDUP,
+                                   format_table, run_bench)
 
 
 def test_dataplane():
@@ -319,7 +28,8 @@ def test_dataplane():
         f"vectored strided path only {strided['speedup']}x over the "
         f"per-row naive baseline")
     mem = by_case["mem_to_mem_bulk"]
-    assert mem["speedup"] >= TARGET_MEM_SPEEDUP, (
+    target_mem = result["meta"]["target_mem_speedup"]
+    assert mem["speedup"] >= target_mem, (
         f"zero-copy mem->mem only {mem['speedup']}x over the "
         f"read/write baseline")
     for c in result["cases"]:
@@ -328,7 +38,5 @@ def test_dataplane():
 
 if __name__ == "__main__":
     out = run_bench()
-    for c in out["cases"]:
-        print(f"{c['case']:>28}: naive {c['baseline_naive_s']}s -> "
-              f"zero-copy {c['zero_copy_s']}s ({c['speedup']}x)")
+    print(format_table(out))
     print(f"wrote {RESULT_PATH}")

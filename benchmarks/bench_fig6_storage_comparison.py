@@ -1,16 +1,28 @@
 """Figure 6: normalized runtime -- in-memory vs Northup on SSD vs disk.
 
+Thin shim over ``benchmarks/scenarios/fig6.toml``: the experiment
+harness expands the (app x config) matrix and this test asserts the
+paper shape on the cell records.
+
 Paper shape: GEMM hides slow storage almost entirely (~1x on SSD);
 HotSpot-2D and CSR-Adaptive slow down 1.3-2.4x on the SSD and 2-2.5x+
 on the disk drive.
 """
 
-from repro.bench.figures import figure6
+from repro.bench.cells import run_records
+from repro.bench.figures import Fig6Row
 from repro.bench.reporting import format_fig6
 
 
-def test_fig6_storage_comparison(benchmark, report):
-    rows = benchmark.pedantic(figure6, rounds=1, iterations=1)
+def test_fig6_storage_comparison(benchmark, report, tmp_path):
+    records = benchmark.pedantic(run_records,
+                                 args=("fig6", str(tmp_path / "fig6")),
+                                 rounds=1, iterations=1)
+    assert all(r["verified"] for r in records)
+    by = {(r["app"], r["config"]): r["makespan_s"] for r in records}
+    rows = [Fig6Row(app=app, in_memory=by[(app, "in-memory")],
+                    ssd=by[(app, "ssd")], hdd=by[(app, "hdd")])
+            for app in ("gemm", "hotspot", "spmv")]
     report("fig6_storage_comparison", format_fig6(rows))
 
     by_app = {r.app: r for r in rows}

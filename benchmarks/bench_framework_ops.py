@@ -1,5 +1,10 @@
 """Host-side overhead of the framework's hot-path operations.
 
+Thin shim over the op factory in :mod:`repro.bench.cells` -- the same
+closures back ``benchmarks/scenarios/framework_ops.toml``; this file
+keeps the pytest-benchmark statistics (per-round setup hook, timing
+distribution) that the scenario cell summarises as p50/min.
+
 Unlike the figure benches (which measure *virtual* time), these measure
 the real Python cost of alloc/move/launch/map on this machine -- the
 number a user pays per chunk.  Rounds are bounded and the timeline is
@@ -12,9 +17,9 @@ allocator and trace growth.)
 
 import pytest
 
-from repro.compute.processor import KernelCost
+from repro.bench.cells import framework_op
 from repro.core.system import System
-from repro.memory.units import KB, MB
+from repro.memory.units import MB
 from repro.topology.builders import apu_two_level
 
 ROUNDS = 200
@@ -29,7 +34,9 @@ def system():
     sys_.close()
 
 
-def _measure(benchmark, system, fn):
+def _measure(benchmark, system, op):
+    fn = framework_op(system, op)
+
     def reset_state():
         system.reset_time()
         return (), {}
@@ -39,46 +46,20 @@ def _measure(benchmark, system, fn):
 
 
 def test_alloc_release_cycle(benchmark, system):
-    leaf = system.tree.leaves()[0]
-
-    def cycle():
-        h = system.alloc(64 * KB, leaf)
-        system.release(h)
-
-    _measure(benchmark, system, cycle)
+    _measure(benchmark, system, "alloc_release")
 
 
 def test_move_64k(benchmark, system):
-    root, leaf = system.tree.root, system.tree.leaves()[0]
-    src = system.alloc(64 * KB, root)
-    dst = system.alloc(64 * KB, leaf)
-    _measure(benchmark, system, lambda: system.move_down(dst, src, 64 * KB))
+    _measure(benchmark, system, "move_64k")
 
 
 def test_move_2d_block(benchmark, system):
-    root, leaf = system.tree.root, system.tree.leaves()[0]
-    src = system.alloc(1 * MB, root)
-    dst = system.alloc(64 * 1024, leaf)
-    _measure(benchmark, system, lambda: system.move_2d(
-        dst, src, rows=64, row_bytes=1024, src_offset=0, src_stride=4096,
-        dst_offset=0, dst_stride=1024))
+    _measure(benchmark, system, "move_2d")
 
 
 def test_kernel_launch(benchmark, system):
-    leaf = system.tree.leaves()[0]
-    gpu = leaf.processor_named("gpu-apu")
-    buf = system.alloc(4 * KB, leaf)
-    cost = KernelCost(flops=1e6, bytes_read=4096)
-    _measure(benchmark, system, lambda: system.launch(gpu, cost,
-                                                      reads=(buf,)))
+    _measure(benchmark, system, "kernel_launch")
 
 
 def test_map_region(benchmark, system):
-    leaf = system.tree.leaves()[0]
-    parent = system.alloc(1 * MB, leaf)
-
-    def cycle():
-        w = system.map_region(parent, 1024, 4096)
-        system.release(w)
-
-    _measure(benchmark, system, cycle)
+    _measure(benchmark, system, "map_region")

@@ -1,5 +1,8 @@
 """Forward-looking analyses (Sections V-D and VI).
 
+Thin shims over ``benchmarks/scenarios/future_memory.toml`` and
+``benchmarks/scenarios/future_spmv_structures.toml``.
+
 * Storage generations: disk -> SSD -> block NVM shrinks the gap to
   in-memory processing ("the extremely wide gap between DRAM and
   storage can be filled").
@@ -9,12 +12,18 @@
   isolated inside one app.
 """
 
-from repro.bench.future import (format_generations, format_spmv_structures,
-                                spmv_input_structures, storage_generations)
+from repro.bench.cells import run_records
+from repro.bench.future import (GenerationRow, SpmvStructureRow,
+                                format_generations, format_spmv_structures)
 
 
-def test_storage_generations(benchmark, report):
-    rows = benchmark.pedantic(storage_generations, rounds=1, iterations=1)
+def test_storage_generations(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("future_memory", str(tmp_path / "future")),
+        rounds=1, iterations=1)
+    assert all(r["verified"] for r in records)
+    rows = [GenerationRow(app=r["app"], storage=r["storage"],
+                          slowdown=r["slowdown"]) for r in records]
     report("future_storage_generations", format_generations(rows))
 
     by_app = {}
@@ -28,8 +37,12 @@ def test_storage_generations(benchmark, report):
     assert by_app["spmv"]["nvm"] < 1.6
 
 
-def test_spmv_input_structures(benchmark, report):
-    rows = benchmark.pedantic(spmv_input_structures, rounds=1, iterations=1)
+def test_spmv_input_structures(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("future_spmv_structures",
+                           str(tmp_path / "spmv")),
+        rounds=1, iterations=1)
+    rows = [SpmvStructureRow(**d) for d in records[0]["rows"]]
     report("future_spmv_structures", format_spmv_structures(rows))
 
     by_key = {(r.preset, r.strategy): r for r in rows}

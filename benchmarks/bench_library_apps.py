@@ -1,9 +1,12 @@
 """Library applications beyond the paper's three case studies.
 
+Thin shims over ``benchmarks/scenarios/library_reduce.toml`` and
+``benchmarks/scenarios/library_sort.toml``.
+
 Out-of-core reduction and external merge sort stress the model's
 *combine/merge* phase rather than its streaming phase.  Both verify
-their answers against NumPy inside the run; the assertions pin the
-qualitative behaviour a user should expect:
+their answers against NumPy inside the cell runner; the assertions pin
+the qualitative behaviour a user should expect:
 
 * a reduction moves each byte down once and only 8 bytes up -- its
   out-of-core penalty is almost pure read bandwidth;
@@ -11,72 +14,46 @@ qualitative behaviour a user should expect:
   penalty grows with the number of passes the staging budget forces.
 """
 
-import numpy as np
-
-from repro.apps.reduce import ReduceApp
-from repro.apps.sort import SortApp
-from repro.bench import configs
-from repro.core.system import System
-from repro.sim.trace import Phase
+from repro.bench.cells import run_records
 
 
-def _reduce_run(storage):
-    system = System(configs.scaled_apu_tree(storage))
-    try:
-        app = ReduceApp(system, n=2_000_000, op="l2", seed=2019)
-        app.run(system)
-        assert app.result() == np.float64(app.reference())
-        return system.breakdown()
-    finally:
-        system.close()
+def test_reduction_is_read_bandwidth_bound(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("library_reduce", str(tmp_path / "reduce")),
+        rounds=1, iterations=1)
+    by_storage = {r["storage"]: r for r in records}
 
-
-def _sort_run(staging_divisor):
-    system = System(configs.scaled_apu_tree(
-        "ssd", staging_bytes=configs.STAGING_BYTES // staging_divisor))
-    try:
-        app = SortApp(system, n=1_000_000, seed=2019)
-        app.run(system)
-        assert np.array_equal(app.result(), app.reference())
-        bd = system.breakdown()
-        reads = bd.bytes_by_phase.get(Phase.IO_READ, 0)
-        return system.makespan(), reads, len(app.runs)
-    finally:
-        system.close()
-
-
-def test_reduction_is_read_bandwidth_bound(benchmark, report):
-    def run():
-        return {s: _reduce_run(s) for s in ("ssd", "hdd")}
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["Out-of-core reduction (2M float32, l2 norm)"]
-    for storage, bd in results.items():
-        lines.append(f"  {storage}: makespan {bd.makespan * 1e3:.2f} ms, "
-                     f"reads {bd.bytes_by_phase[Phase.IO_READ] / 1e6:.1f} MB, "
-                     f"writes {bd.bytes_by_phase.get(Phase.IO_WRITE, 0)} B")
+    for storage, r in by_storage.items():
+        lines.append(f"  {storage}: makespan {r['makespan_s'] * 1e3:.2f} ms, "
+                     f"reads {r['io_read_bytes'] / 1e6:.1f} MB, "
+                     f"writes {r['io_write_bytes']} B")
     report("library_reduce", "\n".join(lines))
 
-    for bd in results.values():
+    for r in records:
+        assert r["verified"]
         # One pass of reads; upward traffic is the 8-byte scalar.
-        assert bd.bytes_by_phase[Phase.IO_READ] >= 8_000_000
-        assert bd.bytes_by_phase.get(Phase.IO_WRITE, 0) == 8
-    assert results["hdd"].makespan > results["ssd"].makespan
+        assert r["io_read_bytes"] >= 8_000_000
+        assert r["io_write_bytes"] == 8
+    assert (by_storage["hdd"]["makespan_s"]
+            > by_storage["ssd"]["makespan_s"])
 
 
-def test_sort_pays_per_merge_pass(benchmark, report):
-    def run():
-        return {d: _sort_run(d) for d in (1, 32)}
+def test_sort_pays_per_merge_pass(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("library_sort", str(tmp_path / "sort")),
+        rounds=1, iterations=1)
+    by_divisor = {r["staging_divisor"]: r for r in records}
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["External merge sort (1M float32) vs staging budget"]
-    for divisor, (makespan, reads, runs) in results.items():
-        lines.append(f"  staging/{divisor}: {runs} runs, "
-                     f"reads {reads / 1e6:.1f} MB, "
-                     f"makespan {makespan * 1e3:.2f} ms")
+    for divisor, r in by_divisor.items():
+        lines.append(f"  staging/{divisor}: {r['runs']} runs, "
+                     f"reads {r['io_read_bytes'] / 1e6:.1f} MB, "
+                     f"makespan {r['makespan_s'] * 1e3:.2f} ms")
     report("library_sort", "\n".join(lines))
 
-    big, small = results[1], results[32]
-    assert small[2] > big[2]          # smaller staging -> more runs
-    assert small[1] > big[1]          # ...and more bytes re-read
-    assert small[0] > big[0]          # ...and a longer sort
+    big, small = by_divisor[1], by_divisor[32]
+    assert all(r["verified"] for r in records)
+    assert small["runs"] > big["runs"]            # smaller staging -> more runs
+    assert small["io_read_bytes"] > big["io_read_bytes"]  # more bytes re-read
+    assert small["makespan_s"] > big["makespan_s"]        # a longer sort

@@ -14,13 +14,19 @@ and telemetry off must allocate no buffers and ship bare acks.
 import statistics
 import time
 
-from repro.bench.figures import runtime_overhead
+from repro.bench.cells import run_records
+from repro.bench.figures import OverheadRow
 from repro.bench.reporting import format_overhead
 from repro.obs.spans import Span
 
 
-def test_runtime_overhead(benchmark, report):
-    rows = benchmark.pedantic(runtime_overhead, rounds=1, iterations=1)
+def test_runtime_overhead(benchmark, report, tmp_path):
+    records = benchmark.pedantic(
+        run_records, args=("overhead_runtime", str(tmp_path / "overhead")),
+        rounds=1, iterations=1)
+    rows = [OverheadRow(app=r["app"],
+                        runtime_fraction=r["runtime_fraction"],
+                        runtime_ops=r["runtime_ops"]) for r in records]
     report("overhead_runtime", format_overhead(rows))
 
     for r in rows:

@@ -1,35 +1,9 @@
 """Pipelined task-graph scheduling vs eager program order.
 
-The plan layer (:mod:`repro.plan`) lowers each level of the Listing-3
-recursion into a task graph whose edges encode *every* cross-chunk data
-dependency.  This bench measures what that buys: the
-:class:`~repro.core.scheduler.PipelinedScheduler` dispatches any
-edge-legal node, so chunk k+1's ``move_down`` can overlap chunk k's
-``compute`` -- the multi-stage transfer overlap Section III-C's task
-queues exist for.
-
-The win shows on a *starved shared channel*: the hdd/ssd-class devices
-model a half-duplex link (one ``{dev}.ch`` resource for both
-directions), and with eager issue order chunk k's ``move_up`` books the
-channel at a position that leaves only a compute-sized gap -- too short
-for chunk k+1's ``move_down`` to backfill whenever compute is shorter
-than the transfer.  The pipelined issue order (combine ranked before
-move_up in :data:`repro.plan.graph.STAGE_RANK`) releases the window
-edge first, so the next chunk's descent is booked back-to-back and the
-channel stays saturated.
-
-Cases (all virtual makespans, so CI timing noise cannot move them):
-
-* **hotspot_hdd_starved** -- the acceptance case: HotSpot ghost-zone
-  pipeline on hdd-class storage with a small staging budget (many
-  chunks, C < D).  Floor: ``TARGET_SPEEDUP``.
-* **hotspot_hdd_deep** -- deeper pipeline (steps_per_pass=8, depth=4):
-  more compute per chunk residence, bigger overlap win (reported).
-* **hotspot_ssd_shared** -- ssd-class storage: faster channel, same
-  half-duplex sharing, smaller but present win (reported).
-* **scheduler_equivalence** -- guard: on the starved config the
-  InOrderScheduler's makespan is *hex-identical* to the eager driver's
-  and all three schedulers produce identical result bytes.
+Thin shim over :mod:`repro.bench.pipeline` (the moved bench body, also
+behind ``benchmarks/scenarios/pipeline_overlap.toml``): the pipelined
+scheduler's starved-channel overlap win plus the scheduler-equivalence
+guard.  See the module docstring for the mechanism.
 
 ``REPRO_PIPELINE_SCALE=ci`` shrinks the grids; the floor relaxes
 slightly because fewer chunks amortise the pipeline fill/drain less.
@@ -40,128 +14,17 @@ Writes ``BENCH_pipeline.json`` at the repository root.  Run directly
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import sys
-
-import numpy as np
-
-from repro.apps.hotspot import HotspotApp
-from repro.bench.configs import scaled_apu_tree
-from repro.core.scheduler import (EagerScheduler, InOrderScheduler,
-                                  PipelinedScheduler)
-from repro.core.system import System
-from repro.memory.units import KB
-
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
-
-CI_SCALE = os.environ.get("REPRO_PIPELINE_SCALE", "").lower() == "ci"
-
-#: Acceptance floor for the starved-channel case.  Full scale measures
-#: ~1.18x; CI scale (fewer chunks, more fill/drain share) ~1.11x.
-TARGET_SPEEDUP = 1.10 if not CI_SCALE else 1.05
-
-if CI_SCALE:
-    GRID_N, ITERS, SPP, DEPTH = 256, 4, 4, 2
-    DEEP_SPP, DEEP_DEPTH = 8, 4
-    STAGING = 64 * KB
-else:
-    GRID_N, ITERS, SPP, DEPTH = 512, 4, 4, 2
-    DEEP_SPP, DEEP_DEPTH = 8, 4
-    STAGING = 256 * KB
-
-
-def _run(storage: str, scheduler, *, n: int, iterations: int,
-         steps_per_pass: int, depth: int) -> tuple[float, bytes]:
-    """One HotSpot run; returns (virtual makespan, result bytes)."""
-    system = System(scaled_apu_tree(storage, staging_bytes=STAGING))
-    try:
-        app = HotspotApp(system, n=n, iterations=iterations,
-                         steps_per_pass=steps_per_pass,
-                         pipeline_depth=depth, seed=5)
-        app.run(system, scheduler=scheduler)
-        return system.makespan(), np.asarray(app.result()).tobytes()
-    finally:
-        system.close()
-
-
-def _case(name: str, storage: str, *, steps_per_pass: int,
-          depth: int) -> dict:
-    kw = dict(n=GRID_N, iterations=max(ITERS, steps_per_pass),
-              steps_per_pass=steps_per_pass, depth=depth)
-    eager_mk, eager_out = _run(storage, EagerScheduler(), **kw)
-    pipe_mk, pipe_out = _run(storage, PipelinedScheduler(), **kw)
-    assert pipe_out == eager_out, (
-        f"{name}: pipelined schedule changed the result bytes")
-    return {"case": name, "storage": storage, "n": kw["n"],
-            "iterations": kw["iterations"],
-            "steps_per_pass": steps_per_pass, "pipeline_depth": depth,
-            "staging_bytes": STAGING,
-            "eager_makespan_s": eager_mk,
-            "pipelined_makespan_s": pipe_mk,
-            "speedup": round(eager_mk / pipe_mk, 3),
-            "results_identical": True}
-
-
-def _case_equivalence() -> dict:
-    """InOrder replay must be bit-identical to the eager driver."""
-    kw = dict(n=GRID_N, iterations=ITERS, steps_per_pass=SPP, depth=DEPTH)
-    eager_mk, eager_out = _run("hdd", EagerScheduler(), **kw)
-    inorder_mk, inorder_out = _run("hdd", InOrderScheduler(), **kw)
-    pipe_mk, pipe_out = _run("hdd", PipelinedScheduler(), **kw)
-    assert float(inorder_mk).hex() == float(eager_mk).hex(), (
-        f"in-order lowering changed the virtual makespan: "
-        f"{eager_mk!r} != {inorder_mk!r}")
-    assert inorder_out == eager_out, (
-        "in-order lowering changed the result bytes")
-    assert pipe_out == eager_out, (
-        "pipelined schedule changed the result bytes")
-    return {"case": "scheduler_equivalence", "storage": "hdd",
-            "n": kw["n"], "iterations": ITERS, "steps_per_pass": SPP,
-            "pipeline_depth": DEPTH, "staging_bytes": STAGING,
-            "eager_makespan_s": eager_mk,
-            "inorder_makespan_s": inorder_mk,
-            "pipelined_makespan_s": pipe_mk,
-            "inorder_matches_eager": True,
-            "results_identical": True}
-
-
-def run_bench() -> dict:
-    cases = [
-        _case("hotspot_hdd_starved", "hdd", steps_per_pass=SPP,
-              depth=DEPTH),
-        _case("hotspot_hdd_deep", "hdd", steps_per_pass=DEEP_SPP,
-              depth=DEEP_DEPTH),
-        _case("hotspot_ssd_shared", "ssd", steps_per_pass=SPP,
-              depth=DEPTH),
-        _case_equivalence(),
-    ]
-    by_case = {c["case"]: c for c in cases}
-    result = {
-        "cases": cases,
-        "meta": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            "scale": "ci" if CI_SCALE else "full",
-            "target_speedup": TARGET_SPEEDUP,
-        },
-    }
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
-    result["by_case"] = by_case
-    return result
+from repro.bench.pipeline import RESULT_PATH, format_table, run_bench
 
 
 def test_pipeline_overlap():
     result = run_bench()
+    target = result["meta"]["target_speedup"]
     by_case = result["by_case"]
     starved = by_case["hotspot_hdd_starved"]
-    assert starved["speedup"] >= TARGET_SPEEDUP, (
+    assert starved["speedup"] >= target, (
         f"pipelined scheduler only {starved['speedup']}x over eager on "
-        f"the starved channel (floor {TARGET_SPEEDUP}x)")
+        f"the starved channel (floor {target}x)")
     eq = by_case["scheduler_equivalence"]
     assert eq["inorder_matches_eager"]
     for c in result["cases"]:
@@ -170,13 +33,5 @@ def test_pipeline_overlap():
 
 if __name__ == "__main__":
     out = run_bench()
-    for c in out["cases"]:
-        if "speedup" in c:
-            print(f"{c['case']:>24}: eager "
-                  f"{c['eager_makespan_s'] * 1e3:.3f} ms -> pipelined "
-                  f"{c['pipelined_makespan_s'] * 1e3:.3f} ms "
-                  f"({c['speedup']}x)")
-        else:
-            print(f"{c['case']:>24}: in-order == eager "
-                  f"({c['eager_makespan_s'] * 1e3:.3f} ms)")
+    print(format_table(out))
     print(f"wrote {RESULT_PATH}")

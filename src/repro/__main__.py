@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro report RUN.json      # RunReport on an exported trace
     python -m repro regress BASE NEW     # perf-regression gate
+    python -m repro experiment run NAME  # declarative scenario harness
     python -m repro describe --plan      # dump lowered task graphs etc.
     python -m repro serve-bench          # multi-tenant serve throughput
     python -m repro top URL              # live dashboard over /status
@@ -25,6 +26,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "regress":
         from repro.obs.regress import main as regress_main
         return regress_main(argv[1:])
+    if argv and argv[0] == "experiment":
+        from repro.tools.experiment.cli import main as experiment_main
+        return experiment_main(argv[1:])
     if argv and argv[0] == "describe":
         from repro.tools.describe import main as describe_main
         return describe_main(argv[1:])

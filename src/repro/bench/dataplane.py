@@ -1,0 +1,347 @@
+"""Wall-clock cost of physical data movement: zero-copy vs naive plane.
+
+The figure benches measure *virtual* time; this bench measures the real
+seconds the framework spends actually moving bytes, before and after
+the zero-copy data plane:
+
+* **mem -> mem bulk** -- ``Device.copy_into`` (one ``np.copyto`` between
+  backing views) against the retained naive path
+  (:mod:`repro.memory.reference`), which round-trips every move through
+  ``read``/``write`` copies.
+* **file -> mem contiguous** -- pooled-descriptor ``os.preadv`` straight
+  into the destination view vs open-per-op ``read()`` plus an
+  intermediate ``bytes``.
+* **strided file 2-D** -- the row-shard/ghost-zone shape: one spanning
+  ``pread`` and an in-memory strided gather (or vectored per-row
+  positioned reads) vs the naive per-row open/seek/read loop.  This is
+  the case the vectored path exists for.
+* **mem -> file 2-D scatter** -- the write-back direction (reported, no
+  floor: ``fsync``-free buffered writes are cheap in both planes).
+
+Every timed case asserts destination bytes identical between the two
+planes before reporting.  A SortApp A/B over a file-backed tree then
+checks end-to-end: virtual makespans must match bit for bit while the
+zero-copy plane wins wall-clock.
+
+``REPRO_DATAPLANE_SCALE=ci`` (or ``run_bench("ci")``) shrinks the
+working set and relaxes the mem->mem floor (shared CI runners jitter
+small-buffer timings); the strided-file floor stands at every scale
+because the baseline pays a file open per row.
+
+:func:`run_bench` writes ``BENCH_dataplane.json`` at the repository
+root unless ``write_path=None``; the ``benchmarks/`` shim and
+``python -m repro`` entry points call it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.memory import reference
+from repro.memory.backends import FileBackend, MemBackend
+from repro.memory.device import Device, DeviceSpec, StorageKind
+from repro.memory.units import KB, MB
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_dataplane.json")
+
+#: Acceptance floor for the strided case (every scale: the baseline
+#: pays a file open per row).
+TARGET_STRIDED_SPEEDUP = 5.0
+
+#: Row stride of the 2-D source: rows interleaved 4x apart, the shape a
+#: row shard of a 4x-wider matrix has on storage.
+SHARD_STRIDE_FACTOR = 4
+
+
+def pick_scale() -> str:
+    """``ci`` when ``REPRO_DATAPLANE_SCALE=ci``, else ``full``."""
+    env = os.environ.get("REPRO_DATAPLANE_SCALE", "").lower()
+    return "ci" if env == "ci" else "full"
+
+
+@dataclass(frozen=True)
+class _Params:
+    mem_moves: int
+    mem_bytes: int
+    file_moves: int
+    file_bytes: int
+    shard_moves: int
+    shard_rows: int
+    shard_row_bytes: int
+    sort_n: int
+    target_mem_speedup: float
+
+
+def _params_for(scale_name: str) -> _Params:
+    if scale_name == "ci":
+        return _Params(mem_moves=400, mem_bytes=256 * KB, file_moves=200,
+                       file_bytes=256 * KB, shard_moves=40, shard_rows=64,
+                       shard_row_bytes=4 * KB, sort_n=60_000,
+                       target_mem_speedup=1.3)
+    return _Params(mem_moves=2_000, mem_bytes=1 * MB, file_moves=500,
+                   file_bytes=1 * MB, shard_moves=100, shard_rows=128,
+                   shard_row_bytes=8 * KB, sort_n=250_000,
+                   target_mem_speedup=2.0)
+
+
+def _mem_device(name: str, capacity: int) -> Device:
+    spec = DeviceSpec(name=name, kind=StorageKind.MEM, capacity=capacity,
+                      read_bw=1e9, write_bw=1e9)
+    return Device(spec=spec, backend=MemBackend())
+
+
+def _file_device(name: str, capacity: int, root: str) -> Device:
+    spec = DeviceSpec(name=name, kind=StorageKind.FILE, capacity=capacity,
+                      read_bw=1e9, write_bw=1e9)
+    return Device(spec=spec, backend=FileBackend(root))
+
+
+def _fill(device: Device, alloc_id: int, nbytes: int, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    device.backend.create(alloc_id, nbytes)
+    device.backend.write(alloc_id, 0,
+                         rng.integers(0, 256, nbytes).astype(np.uint8))
+
+
+def _case_mem_bulk(p: _Params) -> dict:
+    """mem -> mem bulk moves: one np.copyto vs read+write round trip."""
+    src = _mem_device("src", 4 * p.mem_bytes)
+    dst = _mem_device("dst", 4 * p.mem_bytes)
+    try:
+        _fill(src, 1, p.mem_bytes, seed=1)
+        dst.backend.create(1, p.mem_bytes)
+        dst.backend.create(2, p.mem_bytes)
+
+        t0 = perf_counter()
+        for _ in range(p.mem_moves):
+            reference.naive_copy(src.backend, 1, 0, dst.backend, 2, 0,
+                                 p.mem_bytes)
+        naive = perf_counter() - t0
+
+        t0 = perf_counter()
+        for _ in range(p.mem_moves):
+            src.copy_into(dst, 1, 0, 1, 0, p.mem_bytes)
+        fast = perf_counter() - t0
+
+        assert (dst.backend.read(1, 0, p.mem_bytes).tobytes()
+                == dst.backend.read(2, 0, p.mem_bytes).tobytes()), \
+            "zero-copy mem->mem produced different bytes"
+        return {"case": "mem_to_mem_bulk", "moves": p.mem_moves,
+                "bytes_per_move": p.mem_bytes,
+                "baseline_naive_s": round(naive, 6),
+                "zero_copy_s": round(fast, 6),
+                "speedup": round(naive / fast, 2),
+                "bytes_identical": True}
+    finally:
+        src.backend.close()
+        dst.backend.close()
+
+
+def _case_file_contig(p: _Params, tmp_root: str) -> dict:
+    """file -> mem contiguous: pooled-fd preadv-into-view vs open+read."""
+    src = _file_device("disk", 4 * p.file_bytes,
+                       os.path.join(tmp_root, "fc"))
+    dst = _mem_device("ram", 4 * p.file_bytes)
+    try:
+        _fill(src, 1, p.file_bytes, seed=2)
+        dst.backend.create(1, p.file_bytes)
+        dst.backend.create(2, p.file_bytes)
+
+        t0 = perf_counter()
+        for _ in range(p.file_moves):
+            reference.naive_copy(src.backend, 1, 0, dst.backend, 2, 0,
+                                 p.file_bytes)
+        naive = perf_counter() - t0
+
+        t0 = perf_counter()
+        for _ in range(p.file_moves):
+            src.copy_into(dst, 1, 0, 1, 0, p.file_bytes)
+        fast = perf_counter() - t0
+
+        assert (dst.backend.read(1, 0, p.file_bytes).tobytes()
+                == dst.backend.read(2, 0, p.file_bytes).tobytes()), \
+            "zero-copy file->mem produced different bytes"
+        return {"case": "file_to_mem_contiguous", "moves": p.file_moves,
+                "bytes_per_move": p.file_bytes,
+                "baseline_naive_s": round(naive, 6),
+                "zero_copy_s": round(fast, 6),
+                "speedup": round(naive / fast, 2),
+                "bytes_identical": True}
+    finally:
+        src.backend.close()
+        dst.backend.close()
+
+
+def _case_file_strided(p: _Params, tmp_root: str) -> dict:
+    """Strided file 2-D gather -- the acceptance case.
+
+    The naive plane opens the file once *per row* (that is what the
+    pre-change ``move_2d`` loop did through ``read``/``write``); the
+    vectored plane issues one spanning ``pread`` and gathers in memory.
+    """
+    stride = p.shard_row_bytes * SHARD_STRIDE_FACTOR
+    src_size = (p.shard_rows - 1) * stride + p.shard_row_bytes
+    payload = p.shard_rows * p.shard_row_bytes
+    src = _file_device("disk", 2 * src_size, os.path.join(tmp_root, "fs"))
+    dst = _mem_device("ram", 4 * payload)
+    try:
+        _fill(src, 1, src_size, seed=3)
+        dst.backend.create(1, payload)
+        dst.backend.create(2, payload)
+
+        t0 = perf_counter()
+        for _ in range(p.shard_moves):
+            reference.naive_copy_2d(src.backend, 1, 0, stride,
+                                    dst.backend, 2, 0, p.shard_row_bytes,
+                                    rows=p.shard_rows,
+                                    row_bytes=p.shard_row_bytes)
+        naive = perf_counter() - t0
+
+        t0 = perf_counter()
+        for _ in range(p.shard_moves):
+            src.copy_into_2d(dst, 1, 0, stride, 1, 0, p.shard_row_bytes,
+                             rows=p.shard_rows,
+                             row_bytes=p.shard_row_bytes)
+        fast = perf_counter() - t0
+
+        assert (dst.backend.read(1, 0, payload).tobytes()
+                == dst.backend.read(2, 0, payload).tobytes()), \
+            "vectored strided gather produced different bytes"
+        return {"case": "strided_file_2d_gather", "moves": p.shard_moves,
+                "rows": p.shard_rows, "row_bytes": p.shard_row_bytes,
+                "stride": stride,
+                "baseline_naive_s": round(naive, 6),
+                "zero_copy_s": round(fast, 6),
+                "speedup": round(naive / fast, 2),
+                "bytes_identical": True}
+    finally:
+        src.backend.close()
+        dst.backend.close()
+
+
+def _case_file_scatter(p: _Params, tmp_root: str) -> dict:
+    """mem -> file strided scatter (write-back direction; reported only)."""
+    stride = p.shard_row_bytes * SHARD_STRIDE_FACTOR
+    dst_size = (p.shard_rows - 1) * stride + p.shard_row_bytes
+    payload = p.shard_rows * p.shard_row_bytes
+    src = _mem_device("ram", 4 * payload)
+    dst = _file_device("disk", 4 * dst_size, os.path.join(tmp_root, "sc"))
+    try:
+        _fill(src, 1, payload, seed=4)
+        dst.backend.create(1, dst_size)
+        dst.backend.create(2, dst_size)
+
+        t0 = perf_counter()
+        for _ in range(p.shard_moves):
+            reference.naive_copy_2d(src.backend, 1, 0, p.shard_row_bytes,
+                                    dst.backend, 2, 0, stride,
+                                    rows=p.shard_rows,
+                                    row_bytes=p.shard_row_bytes)
+        naive = perf_counter() - t0
+
+        t0 = perf_counter()
+        for _ in range(p.shard_moves):
+            src.copy_into_2d(dst, 1, 0, p.shard_row_bytes, 1, 0, stride,
+                             rows=p.shard_rows,
+                             row_bytes=p.shard_row_bytes)
+        fast = perf_counter() - t0
+
+        assert (dst.backend.read(1, 0, dst_size).tobytes()
+                == dst.backend.read(2, 0, dst_size).tobytes()), \
+            "strided scatter produced different bytes"
+        return {"case": "mem_to_file_2d_scatter", "moves": p.shard_moves,
+                "rows": p.shard_rows, "row_bytes": p.shard_row_bytes,
+                "stride": stride,
+                "baseline_naive_s": round(naive, 6),
+                "zero_copy_s": round(fast, 6),
+                "speedup": round(naive / fast, 2),
+                "bytes_identical": True}
+    finally:
+        src.backend.close()
+        dst.backend.close()
+
+
+def _case_sort_end_to_end(p: _Params, tmp_root: str) -> dict:
+    """External sort over a file-backed root: zero_copy A/B.
+
+    Asserts the sorted output and the virtual makespan are identical in
+    both planes (the makespan via hex-encoded floats: bit identity, not
+    approximate equality), and reports the wall-clock win.
+    """
+    from repro.apps.sort import SortApp
+    from repro.core.system import System
+    from repro.topology.builders import apu_two_level
+
+    def run(zero_copy: bool, tag: str) -> tuple[bytes, float, float]:
+        tree = apu_two_level(storage_backend=FileBackend(
+            os.path.join(tmp_root, f"sort_{tag}")), staging_bytes=24 * KB)
+        system = System(tree, zero_copy=zero_copy)
+        try:
+            t0 = perf_counter()
+            app = SortApp(system, n=p.sort_n, seed=9)
+            app.run(system)
+            out = app.result().tobytes()
+            wall = perf_counter() - t0
+            return out, system.makespan(), wall
+        finally:
+            system.close()
+
+    naive_out, naive_mk, naive_wall = run(False, "naive")
+    fast_out, fast_mk, fast_wall = run(True, "fast")
+    assert fast_out == naive_out, "zero-copy plane changed sort results"
+    assert float(fast_mk).hex() == float(naive_mk).hex(), (
+        f"zero-copy plane changed the virtual makespan: "
+        f"{naive_mk!r} != {fast_mk!r}")
+    return {"case": "external_sort_file_backed", "n": p.sort_n,
+            "staging_bytes": 24 * KB,
+            "baseline_naive_s": round(naive_wall, 6),
+            "zero_copy_s": round(fast_wall, 6),
+            "speedup": round(naive_wall / fast_wall, 2),
+            "makespan_s": fast_mk,
+            "makespan_identical": True,
+            "bytes_identical": True}
+
+
+def run_bench(scale_name: str | None = None, *,
+              write_path: str | None = RESULT_PATH) -> dict:
+    import tempfile
+    if scale_name is None:
+        scale_name = pick_scale()
+    p = _params_for(scale_name)
+    with tempfile.TemporaryDirectory(prefix="bench_dataplane_") as tmp:
+        cases = [_case_mem_bulk(p), _case_file_contig(p, tmp),
+                 _case_file_strided(p, tmp), _case_file_scatter(p, tmp),
+                 _case_sort_end_to_end(p, tmp)]
+    by_case = {c["case"]: c for c in cases}
+    result = {
+        "cases": cases,
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "scale": scale_name,
+            "target_strided_speedup": TARGET_STRIDED_SPEEDUP,
+            "target_mem_speedup": p.target_mem_speedup,
+        },
+    }
+    if write_path is not None:
+        with open(write_path, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    result["by_case"] = by_case
+    return result
+
+
+def format_table(result: dict) -> str:
+    return "\n".join(
+        f"{c['case']:>28}: naive {c['baseline_naive_s']}s -> "
+        f"zero-copy {c['zero_copy_s']}s ({c['speedup']}x)"
+        for c in result["cases"])

@@ -39,7 +39,9 @@ def default_workers() -> int:
 
 def run_parallel(fn: Callable[..., Any], configs: Sequence[Any], *,
                  workers: int | None = None,
-                 star: bool = False) -> list[Any]:
+                 star: bool = False,
+                 on_result: Callable[[int, Any], None] | None = None
+                 ) -> list[Any]:
     """Run ``fn(config)`` for every config across a process pool.
 
     Parameters
@@ -52,6 +54,12 @@ def run_parallel(fn: Callable[..., Any], configs: Sequence[Any], *,
     workers:
         Pool size; ``None`` means :func:`default_workers`.  ``<= 1``
         runs inline without a pool.
+    on_result:
+        Optional ``on_result(index, result)`` callback invoked in the
+        caller's process, in submission order, as each result becomes
+        available.  The experiment harness uses it to persist cells
+        incrementally: results gathered before a crash survive even
+        though :func:`run_parallel` itself never returns.
 
     Returns results in submission order (deterministic merge).
     """
@@ -60,7 +68,13 @@ def run_parallel(fn: Callable[..., Any], configs: Sequence[Any], *,
         workers = default_workers()
     workers = min(workers, len(configs))
     if workers <= 1:
-        return [fn(*c) if star else fn(c) for c in configs]
+        results = []
+        for i, c in enumerate(configs):
+            result = fn(*c) if star else fn(c)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
         if star:
             futures = [pool.submit(fn, *c) for c in configs]
@@ -68,7 +82,13 @@ def run_parallel(fn: Callable[..., Any], configs: Sequence[Any], *,
             futures = [pool.submit(fn, c) for c in configs]
         # .result() in submission order IS the deterministic merge:
         # completion order is scheduling noise and never observed.
-        return [f.result() for f in futures]
+        results = []
+        for i, f in enumerate(futures):
+            result = f.result()
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
 
 
 def parallel_sweep(run: Callable[..., SweepPoint | float],

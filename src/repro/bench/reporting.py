@@ -45,6 +45,24 @@ def format_breakdown(rows: list[BreakdownRow], title: str) -> str:
         body, title)
 
 
+def format_breakdown_records(records: list[dict], title: str) -> str:
+    """Figures 7/8 from scenario cell records (dicts, not rows)."""
+    body = []
+    for r in records:
+        shares = r["shares"]
+        body.append([
+            r["app"], r["storage"],
+            f"{shares['cpu']:.1%}", f"{shares['gpu']:.1%}",
+            f"{shares['setup']:.1%}", f"{shares['transfer']:.1%}",
+            f"{r['dev_transfer_share']:.1%}",
+            f"{shares['runtime']:.2%}",
+        ])
+    return _table(
+        ["app", "storage", "cpu", "gpu", "setup", "transfer(all)",
+         "dev-xfer", "runtime"],
+        body, title)
+
+
 def format_fig9(series: list[Fig9Series]) -> str:
     """Figure 9 as normalized I/O and overall series."""
     body = []
@@ -58,6 +76,25 @@ def format_fig9(series: list[Fig9Series]) -> str:
             f"{s.gap_to_in_memory():+.1%}",
         ])
     avg = sum(s.gap_to_in_memory() for s in series) / len(series)
+    table = _table(
+        ["app", "I/O time (norm.)", "overall (norm.)", "gap to in-mem"],
+        body,
+        "Figure 9: projection onto faster storage "
+        "(ladder 1400/600 -> 3500/2100 MB/s)")
+    return table + f"\naverage gap to in-memory at fastest point: {avg:+.1%}"
+
+
+def format_fig9_records(records: list[dict]) -> str:
+    """Figure 9 from scenario cell records (dicts, not series)."""
+    body = []
+    for r in records:
+        body.append([
+            r["app"],
+            " ".join(f"{x:.2f}" for x in r["io_norm"]),
+            " ".join(f"{x:.2f}" for x in r["overall_norm"]),
+            f"{r['gap_to_in_memory']:+.1%}",
+        ])
+    avg = sum(r["gap_to_in_memory"] for r in records) / len(records)
     table = _table(
         ["app", "I/O time (norm.)", "overall (norm.)", "gap to in-mem"],
         body,

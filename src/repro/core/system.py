@@ -366,7 +366,14 @@ class System:
                     alloc_id = None
             if alloc_id is None:
                 if not self.cache.reclaim(n, nbytes):
-                    raise
+                    # Eviction alone cannot make room.  When the bytes
+                    # exist but live buffers checkerboard the arena,
+                    # compact it as a last resort: handles address
+                    # storage by allocation id, so relocation is pure
+                    # offset bookkeeping and no data moves.
+                    if not n.device.allocator.would_fit_compacted(nbytes):
+                        raise
+                    self.charge_runtime(n.device.compact())
                 alloc_id = n.device.allocate(nbytes)
         handle = self.registry.register(node_id=n.node_id, nbytes=nbytes,
                                         alloc_id=alloc_id, label=label)

@@ -174,6 +174,37 @@ class FreeListAllocator:
                 self._free[lo - 1] = (poff, psz + sz)
                 del self._free[lo]
 
+    def would_fit_compacted(self, size: int) -> bool:
+        """True when ``size`` would fit after :meth:`compact`: the free
+        bytes exist, they just aren't contiguous."""
+        return size > 0 and self._padded(size) <= self.free_bytes
+
+    def compact(self) -> int:
+        """Slide live allocations to the bottom of the arena, leaving
+        one contiguous free block at the top; returns how many
+        allocations were relocated.
+
+        This is pure bookkeeping: data bytes live in the node's backend
+        keyed by allocation id, not address, so moving the virtual
+        offsets copies nothing.  The handle indirection of the Table I
+        data model -- programs hold opaque handles, never raw
+        addresses -- is what makes a relocating allocator legal here.
+        """
+        cursor = 0
+        moved = 0
+        for alloc_id, alloc in sorted(self._live.items(),
+                                      key=lambda item: item[1].offset):
+            if alloc.offset != cursor:
+                self._live[alloc_id] = Allocation(offset=cursor,
+                                                  size=alloc.size)
+                moved += 1
+            cursor += alloc.size  # sizes are padded, so offsets stay aligned
+        if cursor < self.capacity:
+            self._free = [(cursor, self.capacity - cursor)]
+        else:
+            self._free = []
+        return moved
+
     def reset(self) -> None:
         """Free everything (between experiments)."""
         self._free = [(0, self.capacity)]

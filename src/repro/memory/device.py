@@ -177,6 +177,13 @@ class Device:
             raise
         return alloc_id
 
+    def compact(self) -> int:
+        """Squeeze fragmentation out of the arena (see
+        :meth:`FreeListAllocator.compact`); returns the relocation
+        count.  Data is untouched: the backend keys storage by
+        allocation id, not address."""
+        return self.allocator.compact()
+
     def release(self, alloc_id: int) -> None:
         self.backend.destroy(alloc_id)
         self.allocator.free(alloc_id)

@@ -26,6 +26,7 @@ CLI
     python -m repro.obs.regress BASELINE.json FRESH.json [--rtol 0.25]
                                 [--warn-only]
     python -m repro.obs.regress --slo POLICY.json STATUS.json
+    python -m repro.obs.regress --update-baselines [NAME ...]
 
 Exit status 1 on any regression (0 with ``--warn-only``, the CI mode:
 shared runners are too noisy for a hard wall-clock gate at CI scale).
@@ -38,14 +39,39 @@ bench must be able to land in the same change as its first baseline.
 Unlike wall times, the gated quantities (virtual latencies, queue
 depth, wedged-worker count) are deterministic, so SLO misses stay hard
 failures even under ``--warn-only``-style CI noise concerns.
+
+``--update-baselines`` regenerates the committed ``BENCH_*.json``
+baselines in one command: each producing bench runs as a subprocess
+(the same entry point CI uses, so the bytes match what a bench run
+writes), then the old and new documents are diffed and summarised.
+Names select a subset (``pipeline``, ``BENCH_serve.json``, ...); no
+names means all of them.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 from dataclasses import dataclass
+
+#: Committed baseline file -> the bench script whose ``__main__`` block
+#: regenerates it.  Scripts run from the repository root with
+#: ``PYTHONPATH=src`` -- exactly how CI produces the fresh files -- so
+#: an updated baseline is byte-for-byte what the next bench run diffs
+#: against.
+BASELINE_PRODUCERS = {
+    "BENCH_pipeline.json": "benchmarks/bench_pipeline_overlap.py",
+    "BENCH_wallclock.json": "benchmarks/bench_wallclock_scaling.py",
+    "BENCH_dataplane.json": "benchmarks/bench_dataplane.py",
+    "BENCH_serve.json": "benchmarks/bench_serve_throughput.py",
+    "BENCH_distributed.json": "benchmarks/bench_distributed_scaling.py",
+}
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
 
 #: Default relative tolerance for wall-clock comparisons.  Wall times on
 #: a quiet machine vary a few percent run to run; 25% only trips on a
@@ -176,6 +202,86 @@ def compare(baseline, fresh, *, rtol: float = DEFAULT_RTOL,
     return findings
 
 
+def _resolve_baseline_names(names: list[str]) -> list[str]:
+    """Map user-friendly names onto BASELINE_PRODUCERS keys."""
+    if not names:
+        return sorted(BASELINE_PRODUCERS)
+    resolved = []
+    for name in names:
+        candidates = (name, f"BENCH_{name}.json", f"{name}.json")
+        match = next((c for c in candidates if c in BASELINE_PRODUCERS),
+                     None)
+        if match is None:
+            raise KeyError(
+                f"unknown baseline {name!r}; known: "
+                f"{', '.join(sorted(BASELINE_PRODUCERS))}")
+        resolved.append(match)
+    return resolved
+
+
+def update_baselines(names: list[str], *,
+                     rtol: float = DEFAULT_RTOL) -> int:
+    """Regenerate committed bench baselines and summarise the drift.
+
+    Each producer runs as ``python benchmarks/bench_X.py`` from the
+    repository root (the scripts write their ``BENCH_*.json`` at an
+    absolute path, so this rewrites the committed files in place).
+    Virtual-time drift in the fresh numbers is *reported*, not
+    rejected: updating baselines is exactly the moment intentional
+    changes land.
+    """
+    try:
+        selected = _resolve_baseline_names(names)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    failures = 0
+    for fname in selected:
+        script = BASELINE_PRODUCERS[fname]
+        path = os.path.join(_REPO_ROOT, fname)
+        old_doc = None
+        try:
+            with open(path) as fh:
+                old_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            pass
+        print(f"regenerating {fname} via {script} ...", flush=True)
+        proc = subprocess.run([sys.executable, script], cwd=_REPO_ROOT,
+                              env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"  FAILED (exit {proc.returncode}):", file=sys.stderr)
+            tail = proc.stderr.strip().splitlines()[-10:]
+            for line in tail:
+                print(f"    {line}", file=sys.stderr)
+            failures += 1
+            continue
+        with open(path) as fh:
+            new_doc = json.load(fh)
+        if old_doc is None:
+            print(f"  wrote first baseline {fname}")
+            continue
+        findings = compare(old_doc, new_doc, rtol=rtol)
+        virtual = [f for f in findings
+                   if "virtual time drifted" in f.message]
+        moved = [f for f in findings if f.kind in ("regression",
+                                                   "improvement")]
+        print(f"  updated {fname}: {len(moved)} value(s) moved beyond "
+              f"the {rtol:.0%} band, {len(virtual)} virtual-time "
+              f"change(s)")
+        for f in virtual:
+            print(f"    [virtual] {f.path}: {f.message}")
+    if failures:
+        print(f"{failures} baseline(s) failed to regenerate",
+              file=sys.stderr)
+        return 1
+    print("review the diff and commit the refreshed baselines")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.obs.regress",
@@ -192,7 +298,19 @@ def main(argv: list[str] | None = None) -> int:
                         metavar=("POLICY.json", "STATUS.json"),
                         help="gate a /status snapshot against an SLO "
                              "policy instead of diffing bench baselines")
+    parser.add_argument("--update-baselines", nargs="*", metavar="NAME",
+                        default=None,
+                        help="regenerate the committed BENCH_*.json "
+                             "baselines (all of them, or just the named "
+                             "ones) by re-running their bench scripts")
     args = parser.parse_args(argv)
+
+    if args.update_baselines is not None:
+        if args.baseline is not None or args.fresh is not None \
+                or args.slo is not None:
+            parser.error("--update-baselines takes no BASELINE/FRESH "
+                         "positionals and excludes --slo")
+        return update_baselines(args.update_baselines, rtol=args.rtol)
 
     if args.slo is not None:
         if args.baseline is not None or args.fresh is not None:

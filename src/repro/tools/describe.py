@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.compute import registry
@@ -417,6 +418,99 @@ def _print_phys() -> int:
     return 0
 
 
+def _print_experiment() -> int:
+    """Print the scenario layer: committed scenario files (with their
+    expanded cell counts) and the registered cell runners."""
+    from repro.tools.experiment.config import (default_scenario_dir,
+                                               load_scenario)
+    from repro.tools.experiment.registry import list_runners
+
+    scenario_dir = default_scenario_dir()
+    print(f"experiment harness (python -m repro experiment run NAME)")
+    print(f"scenario dir: {scenario_dir}")
+    names = sorted(f for f in os.listdir(scenario_dir)
+                   if f.endswith((".toml", ".json")))
+    for fname in names:
+        try:
+            s = load_scenario(os.path.join(scenario_dir, fname))
+        except NorthupError as exc:
+            print(f"  {fname}: UNREADABLE ({exc})")
+            continue
+        if s.tuner is not None:
+            knobs = " x ".join(f"{k.name}[{len(k.values)}]"
+                               for k in s.tuner.knobs)
+            detail = (f"tuner over {knobs} = {s.tuner.grid_size} grid, "
+                      f"objective {s.tuner.objective}")
+        else:
+            detail = f"{s.cell_count} cell(s)"
+            if s.repeats > 1:
+                detail += f" ({s.repeats} repeats)"
+        print(f"  {s.name:<26} runner={s.runner:<18} {detail}")
+    print("registered cell runners:")
+    for name in list_runners():
+        print(f"  {name}")
+    print("artifact layout: <out>/meta.json, summary.json, report.md, "
+          "cells/cell-NNN.json (+ tuned.json for tuner scenarios)")
+    return 0
+
+
+def _print_tuning() -> int:
+    """Explain the two tuning layers and run a small live demo of each:
+    the AdaptiveDispatcher's observed-rate policy and the
+    critical-path-guided Autotuner."""
+    from repro.tools.autotune import (CATEGORIES, Autotuner, Evaluation,
+                                      classify_resource)
+    from repro.tools.experiment.config import KnobSpec
+
+    print("tuning layers:")
+    print("  1. AdaptiveDispatcher (repro.core.stealing): per-chunk "
+          "dispatch by observed worker rates;")
+    print("     deterministic contract: under tied observed rates the "
+          "first-registered worker wins")
+    print("     (registration order, not dict or arrival order).")
+    print("  2. Autotuner (repro.tools.autotune): offline knob search "
+          "guided by critical-path attribution.")
+    print()
+    print(f"resource categories: {', '.join(CATEGORIES)}")
+    for resource in ("workers", "gpu0", "cpu1", "ssd.ch", "net0.tx",
+                     "cache", "runtime"):
+        print(f"  {resource:<10} -> {classify_resource(resource)}")
+    print()
+    print("search loop: attribute critical path -> pick knobs declared "
+          "to relieve the binding")
+    print("category -> hill-climb (radius 1, then 2) -> stop when no "
+          "neighbour improves or the")
+    print("evaluation budget (default half the grid) is spent.")
+    print()
+
+    # Live demo on an analytic bowl: best at (x=4, y=8).
+    knobs = [KnobSpec(name="x", values=(1, 2, 4, 8),
+                      relieves=("compute",)),
+             KnobSpec(name="y", values=(2, 4, 8),
+                      relieves=("channel",))]
+
+    def bowl(params):
+        score = (-(params["x"] - 4) ** 2 - (params["y"] - 8) ** 2)
+        return Evaluation(params=params, score=float(score),
+                          binding="compute", attribution={"compute": 1.0},
+                          record={"score": score})
+
+    tuner = Autotuner(knobs, bowl, goal="max", seed=0, budget=8)
+    result = tuner.tune()
+    print(f"demo: maximize -(x-4)^2 - (y-8)^2 over a "
+          f"{result.grid_size}-point grid")
+    print(f"  best {result.best.params} (score {result.best.score:g}) "
+          f"after {result.evaluated} evaluations "
+          f"({result.coverage:.0%} of the grid), "
+          f"converged={result.converged}")
+    print()
+    print("scenario hook: a [tuner] table in a scenario TOML (see "
+          "benchmarks/scenarios/fig11_autotune.toml)")
+    print("runs this search over real cells and writes tuned.json into "
+          "the artifact dir.")
+    return 0
+
+
 def _print_devices() -> int:
     print("device catalog (calibrated to the paper's Section V-A parts):")
     for name in catalog.names():
@@ -479,6 +573,14 @@ def main(argv: list[str] | None = None) -> int:
                              "and print the physical plane: per-worker "
                              "sub-phases, clock alignment, utilization, "
                              "watchdog verdicts")
+    parser.add_argument("--experiment", action="store_true",
+                        help="list the committed experiment scenarios, "
+                             "registered cell runners, and the artifact "
+                             "layout of the declarative harness")
+    parser.add_argument("--tuning", action="store_true",
+                        help="explain the tuning layers (AdaptiveDispatcher "
+                             "rate policy, critical-path-guided Autotuner) "
+                             "and run a small live search demo")
     parser.add_argument("--plan", metavar="NAME", nargs="?", const="apu",
                         help="lower the example programs on a topology "
                              "(default apu) and dump each level's task "
@@ -510,6 +612,10 @@ def main(argv: list[str] | None = None) -> int:
         return _print_dist()
     if args.phys:
         return _print_phys()
+    if args.experiment:
+        return _print_experiment()
+    if args.tuning:
+        return _print_tuning()
     if args.plan:
         return _print_plan(args.plan)
     parser.print_help()

@@ -1,0 +1,70 @@
+"""Named cell runners.
+
+A cell runner is a module-level callable ``fn(**params) -> dict`` that
+executes one cell of a scenario matrix and returns a JSON-able record.
+Runners must be picklable (they cross the :mod:`repro.bench.parallel`
+process boundary), which in practice means plain module-level
+functions.
+
+The bench families register theirs in :mod:`repro.bench.cells`; that
+module is imported lazily on first lookup so ``repro.tools.experiment``
+stays importable without the bench stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+
+CellRunner = Callable[..., dict]
+
+_RUNNERS: dict[str, CellRunner] = {}
+_BUILTINS_LOADED = False
+
+
+def register(name: str) -> Callable[[CellRunner], CellRunner]:
+    """Decorator: register ``fn`` as the cell runner for ``name``."""
+    def deco(fn: CellRunner) -> CellRunner:
+        if name in _RUNNERS and _RUNNERS[name] is not fn:
+            raise ConfigError(f"cell runner {name!r} already registered")
+        _RUNNERS[name] = fn
+        return fn
+    return deco
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.bench.cells  # noqa: F401  (registers on import)
+
+
+def get_runner(name: str) -> CellRunner:
+    """The registered runner, loading the built-in set on first use."""
+    _load_builtins()
+    try:
+        return _RUNNERS[name]
+    except KeyError:
+        raise ConfigError(f"unknown cell runner {name!r}; known: "
+                          f"{sorted(_RUNNERS)}") from None
+
+
+def list_runners() -> dict[str, str]:
+    """Registered runner names -> first docstring line."""
+    _load_builtins()
+    out = {}
+    for name in sorted(_RUNNERS):
+        doc = (_RUNNERS[name].__doc__ or "").strip().splitlines()
+        out[name] = doc[0] if doc else ""
+    return out
+
+
+def run_cell(runner: str, params: dict[str, Any]) -> dict:
+    """Execute one cell; module-level so pool workers can call it."""
+    record = get_runner(runner)(**params)
+    if not isinstance(record, dict):
+        raise ConfigError(f"cell runner {runner!r} returned "
+                          f"{type(record).__name__}, expected dict")
+    return record

@@ -1,0 +1,118 @@
+"""Property test: AdaptiveDispatcher is deterministic under ties.
+
+The dispatcher's contract (the same one the autotuner's tie-break
+mirrors) is that exploration and tied-rate exploitation both resolve by
+registration order -- never by dict order, name order, or chance.  The
+properties below feed every processor measurement profiles with
+*identical* observed rates and assert the chosen trajectory is a pure
+function of the registration order.
+"""
+
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.compute.processor import Processor, ProcessorKind
+from repro.core.tuning import AdaptiveDispatcher
+
+
+def make_procs(count):
+    return [Processor(name=f"p{i}", kind=ProcessorKind.CPU,
+                      peak_gflops=10.0, mem_bw=10e9)
+            for i in range(count)]
+
+
+measurements = st.lists(
+    st.tuples(st.floats(min_value=1e-3, max_value=1e3,
+                        allow_nan=False, allow_infinity=False),
+              st.floats(min_value=1e-3, max_value=1e3,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=8)
+
+
+def drive(dispatcher, rounds, measurement_for):
+    """Run choose/record ``rounds`` times; return the chosen names."""
+    chosen = []
+    for step in range(rounds):
+        proc = dispatcher.choose()
+        chosen.append(proc.name)
+        seconds, work = measurement_for(step, proc)
+        dispatcher.record(proc, seconds=seconds, work=work)
+    return chosen
+
+
+@seed(2019)
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=2, max_value=5),
+       explore=st.integers(min_value=1, max_value=3),
+       profile=measurements,
+       rounds=st.integers(min_value=1, max_value=8))
+def test_tied_rates_resolve_by_registration_order(n, explore, profile,
+                                                  rounds):
+    """Every processor accumulates the *identical* (seconds, work)
+    totals, so rates stay bit-for-bit tied; the winner must be the
+    first registered, at every decision point."""
+    procs = make_procs(n)
+    d = AdaptiveDispatcher(processors=procs, explore=explore)
+
+    # Exploration covers processors in registration order, each getting
+    # the same per-slot sample so the tie survives exploration.
+    for i in range(n * explore):
+        proc = d.choose()
+        assert proc is procs[i // explore]
+        seconds, work = profile[(i % explore) % len(profile)]
+        d.record(proc, seconds=seconds, work=work)
+
+    # From here on, feed every processor the same sample each round:
+    # totals stay identical, rates stay exactly tied, and the
+    # tie-break must land on the first-registered processor.
+    for r in range(rounds):
+        assert d.choose() is procs[0]
+        seconds, work = profile[r % len(profile)]
+        for proc in procs:
+            d.record(proc, seconds=seconds, work=work)
+    assert d.choose() is procs[0]
+    rates = {d.observed_rate(p) for p in procs}
+    assert len(rates) == 1
+
+
+@seed(2019)
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=5),
+       explore=st.integers(min_value=1, max_value=3),
+       profile=measurements,
+       rounds=st.integers(min_value=1, max_value=24))
+def test_identical_feeds_give_identical_trajectories(n, explore, profile,
+                                                     rounds):
+    """Two dispatchers over equal registrations, fed the same
+    measurements, must dispatch identically at every step."""
+    def run_once():
+        procs = make_procs(n)
+        d = AdaptiveDispatcher(processors=procs, explore=explore)
+        counter = {p.name: 0 for p in procs}
+
+        def measurement_for(step, proc):
+            sample = profile[counter[proc.name] % len(profile)]
+            counter[proc.name] += 1
+            return sample
+
+        return drive(d, rounds, measurement_for)
+
+    assert run_once() == run_once()
+
+
+@seed(2019)
+@settings(max_examples=40, deadline=None)
+@given(order=st.permutations(list(range(4))),
+       seconds=st.floats(min_value=1e-3, max_value=1e3,
+                         allow_nan=False, allow_infinity=False))
+def test_registration_order_is_the_only_tie_break(order, seconds):
+    """Permuting the registration order moves the tied winner with it:
+    the choice tracks the order, not the processor names."""
+    procs = make_procs(4)
+    permuted = [procs[i] for i in order]
+    d = AdaptiveDispatcher(processors=permuted)
+    for _ in permuted:
+        d.record(d.choose(), seconds=seconds, work=seconds * 2.0)
+    rates = {p.name: d.observed_rate(p) for p in permuted}
+    assert len(set(rates.values())) == 1
+    assert d.choose() is permuted[0]

@@ -44,6 +44,61 @@ def test_fragmentation_error_distinguished():
     assert a.allocate(256) > 0
 
 
+def test_compact_makes_fragmented_bytes_contiguous():
+    a = FreeListAllocator(256, alignment=1)
+    left = a.allocate(96)
+    mid = a.allocate(64)
+    right = a.allocate(96)
+    a.free(left)
+    a.free(right)
+    # 192 bytes free in two 96-byte holes: 128 doesn't fit as-is.
+    assert not a.can_fit(128)
+    assert a.would_fit_compacted(128)
+    assert a.compact() == 1        # only `mid` needs to move
+    a.check_invariants()
+    assert a.lookup(mid).offset == 0
+    assert a.largest_free_block() == 192
+    assert a.used_bytes == 64      # accounting untouched
+    assert a.allocate(128) > 0
+
+
+def test_compact_is_a_noop_on_a_packed_arena():
+    a = FreeListAllocator(1024, alignment=64)
+    ids = [a.allocate(100) for _ in range(3)]
+    assert a.compact() == 0
+    a.check_invariants()
+    assert [a.lookup(i).offset for i in ids] == [0, 128, 256]
+    assert not a.would_fit_compacted(1024)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.one_of(
+    st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=512)),
+    st.tuples(st.just("free"), st.integers(min_value=0, max_value=40)),
+    st.tuples(st.just("compact"), st.just(0)),
+), max_size=60))
+def test_compact_preserves_live_set_and_accounting(ops):
+    """Compaction at arbitrary points keeps sizes, ids, and byte
+    accounting intact and always leaves one contiguous free block."""
+    a = FreeListAllocator(4096, alignment=16)
+    live: dict[int, int] = {}
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live[a.allocate(arg)] = a._padded(arg)
+            except CapacityError:
+                pass
+        elif op == "free" and live:
+            key = list(live)[arg % len(live)]
+            del live[key]
+            a.free(key)
+        elif op == "compact":
+            a.compact()
+            assert a.largest_free_block() == a.free_bytes
+        a.check_invariants()
+        assert {i: a.lookup(i).size for i in live} == live
+
+
 def test_coalescing_merges_neighbours():
     a = FreeListAllocator(300, alignment=1)
     ids = [a.allocate(100) for _ in range(3)]

@@ -1,0 +1,113 @@
+"""Crash/resume: a killed matrix run leaves a valid partial artifact
+and ``--resume`` completes only the missing cells."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tools.experiment.artifact import Artifact
+from repro.tools.experiment.cli import main as cli_main
+from repro.tools.experiment.config import parse_scenario
+from repro.tools.experiment.registry import register
+from repro.tools.experiment.runner import run_scenario
+
+
+@register("fragile")
+def fragile_cell(step: int, flag_dir: str) -> dict:
+    """Crashes while ``<flag_dir>/poison-<step>`` exists -- a stand-in
+    for a run killed partway through its matrix."""
+    if os.path.exists(os.path.join(flag_dir, f"poison-{step}")):
+        raise RuntimeError(f"simulated crash at step {step}")
+    return {"step": step, "makespan_s": float(step) + 0.5}
+
+
+def fragile_scenario(flag_dir: str):
+    return parse_scenario({
+        "scenario": {"name": "fragile", "runner": "fragile"},
+        "fixed": {"flag_dir": flag_dir},
+        "matrix": {"step": [0, 1, 2, 3, 4]},
+    })
+
+
+def test_killed_run_leaves_valid_partial_artifact(tmp_path):
+    flags = str(tmp_path / "flags")
+    os.makedirs(flags)
+    open(os.path.join(flags, "poison-2"), "w").close()
+    s = fragile_scenario(flags)
+    out = str(tmp_path / "run")
+
+    with pytest.raises(RuntimeError, match="step 2"):
+        run_scenario(s, out_dir=out)
+
+    art = Artifact(out)
+    assert art.exists and not art.complete
+    # The full plan was recorded before any cell executed...
+    meta = art.read_meta()
+    assert [p["params"]["step"] for p in meta["plan"]] == [0, 1, 2, 3, 4]
+    # ...and exactly the cells finished before the crash are readable.
+    assert sorted(art.completed_cells()) == [0, 1]
+    assert not os.path.exists(art.summary_path)
+
+    # `experiment report` flags the run as resumable instead of crashing.
+    assert cli_main(["report", out]) == 1
+
+
+def test_resume_executes_only_missing_cells(tmp_path):
+    flags = str(tmp_path / "flags")
+    os.makedirs(flags)
+    open(os.path.join(flags, "poison-3"), "w").close()
+    s = fragile_scenario(flags)
+    out = str(tmp_path / "run")
+    with pytest.raises(RuntimeError):
+        run_scenario(s, out_dir=out)
+    assert sorted(Artifact(out).completed_cells()) == [0, 1, 2]
+
+    os.remove(os.path.join(flags, "poison-3"))
+    result = run_scenario(s, out_dir=out, resume=True)
+    assert result.executed == 2       # only cells 3 and 4 re-ran
+    assert result.reused == 3
+    art = Artifact(out)
+    assert art.complete
+    records = [c["record"]["step"] for c in art.read_summary()["cells"]]
+    assert records == [0, 1, 2, 3, 4]
+
+
+def test_resume_refuses_mismatched_scenario(tmp_path):
+    flags = str(tmp_path / "flags")
+    os.makedirs(flags)
+    open(os.path.join(flags, "poison-1"), "w").close()
+    out = str(tmp_path / "run")
+    with pytest.raises(RuntimeError):
+        run_scenario(fragile_scenario(flags), out_dir=out)
+    os.remove(os.path.join(flags, "poison-1"))
+
+    other_name = parse_scenario({
+        "scenario": {"name": "not-fragile", "runner": "fragile"},
+        "fixed": {"flag_dir": flags},
+        "matrix": {"step": [0, 1, 2, 3, 4]},
+    })
+    with pytest.raises(ConfigError, match="refusing to resume"):
+        run_scenario(other_name, out_dir=out, resume=True)
+
+    other_cells = parse_scenario({
+        "scenario": {"name": "fragile", "runner": "fragile"},
+        "fixed": {"flag_dir": flags},
+        "matrix": {"step": [0, 1]},
+    })
+    with pytest.raises(ConfigError, match="different cell list"):
+        run_scenario(other_cells, out_dir=out, resume=True)
+
+    # The matching scenario still resumes cleanly after the refusals.
+    result = run_scenario(fragile_scenario(flags), out_dir=out, resume=True)
+    assert result.reused == 1 and result.executed == 4
+
+
+def test_resume_of_complete_run_reuses_everything(tmp_path):
+    flags = str(tmp_path / "flags")
+    os.makedirs(flags)
+    s = fragile_scenario(flags)
+    out = str(tmp_path / "run")
+    run_scenario(s, out_dir=out)
+    result = run_scenario(s, out_dir=out, resume=True)
+    assert result.executed == 0 and result.reused == 5
